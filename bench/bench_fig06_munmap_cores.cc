@@ -1,0 +1,77 @@
+// Figure 6: cost of munmap() (and its TLB-shootdown component) for a
+// single page as the number of sharing cores grows from 1 to 16 on
+// the 2-socket commodity machine, Linux vs. LATR.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "machine/machine.hh"
+#include "workload/microbench.hh"
+
+using namespace latr;
+
+namespace
+{
+
+MunmapMicrobenchResult
+runPoint(PolicyKind policy, unsigned cores)
+{
+    Machine machine(MachineConfig::commodity2S16C(), policy);
+    MunmapMicrobenchConfig cfg;
+    cfg.sharingCores = cores;
+    cfg.pages = 1;
+    cfg.iterations = 200;
+    cfg.warmupIterations = 20;
+    return runMunmapMicrobench(machine, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    const MachineConfig config = MachineConfig::commodity2S16C();
+    bench::banner("Figure 6", "munmap(1 page) cost vs. sharing cores",
+                  config);
+    bench::paperExpectation(
+        "Linux ~8 us at 16 cores (71.6% shootdown); LATR ~2.4 us "
+        "(-70.8%)");
+    bench::rule();
+
+    std::printf("%6s | %12s %12s | %12s %12s | %8s\n", "cores",
+                "linux_us", "linux_sd_us", "latr_us", "latr_sd_us",
+                "improv");
+    bench::rule();
+
+    const std::vector<unsigned> core_counts = {1, 2, 4, 6, 8,
+                                               10, 12, 14, 16};
+    double linux16 = 0, latr16 = 0, linux16_sd = 0;
+    for (unsigned cores : core_counts) {
+        MunmapMicrobenchResult linux_r =
+            runPoint(PolicyKind::LinuxSync, cores);
+        MunmapMicrobenchResult latr_r = runPoint(PolicyKind::Latr, cores);
+        const double improv =
+            linux_r.munmapMeanNs > 0
+                ? 100.0 * (linux_r.munmapMeanNs - latr_r.munmapMeanNs) /
+                      linux_r.munmapMeanNs
+                : 0.0;
+        std::printf("%6u | %12.2f %12.2f | %12.2f %12.2f | %7.1f%%\n",
+                    cores, bench::us(linux_r.munmapMeanNs),
+                    bench::us(linux_r.shootdownMeanNs),
+                    bench::us(latr_r.munmapMeanNs),
+                    bench::us(latr_r.shootdownMeanNs), improv);
+        if (cores == 16) {
+            linux16 = linux_r.munmapMeanNs;
+            latr16 = latr_r.munmapMeanNs;
+            linux16_sd = linux_r.shootdownMeanNs;
+        }
+    }
+    bench::rule();
+    bench::measuredHeadline(
+        "at 16 cores: Linux %.2f us (shootdown share %.1f%%), LATR "
+        "%.2f us, improvement %.1f%%",
+        bench::us(linux16), 100.0 * linux16_sd / linux16,
+        bench::us(latr16), 100.0 * (linux16 - latr16) / linux16);
+    return 0;
+}

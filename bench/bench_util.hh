@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared output helpers for the figure/table benches: each bench
+ * prints the machine it simulates, the paper's reported anchor
+ * numbers, and the measured rows, in a fixed-width layout that is
+ * easy to diff across runs.
+ */
+
+#ifndef LATR_BENCH_BENCH_UTIL_HH_
+#define LATR_BENCH_BENCH_UTIL_HH_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "topo/machine_config.hh"
+
+namespace latr::bench
+{
+
+/** Print the bench banner: experiment id, description, machine. */
+inline void
+banner(const char *experiment, const char *description,
+       const MachineConfig &config)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", experiment, description);
+    std::printf("machine: %s (%u sockets x %u cores)\n",
+                config.name.c_str(), config.sockets,
+                config.coresPerSocket);
+    std::printf("==============================================================\n");
+}
+
+/** Print the paper's expectation for this experiment. */
+inline void
+paperExpectation(const char *text)
+{
+    std::printf("paper:    %s\n", text);
+}
+
+/** Print the measured headline for this experiment. */
+inline void
+measuredHeadline(const char *fmt, ...)
+{
+    std::printf("measured: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::printf("\n");
+}
+
+inline void
+rule()
+{
+    std::printf("--------------------------------------------------------------\n");
+}
+
+/** ns -> us for printing. */
+inline double
+us(double ns)
+{
+    return ns / 1000.0;
+}
+
+} // namespace latr::bench
+
+#endif // LATR_BENCH_BENCH_UTIL_HH_

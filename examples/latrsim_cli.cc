@@ -1,0 +1,188 @@
+// latrsim_cli: run any of the library's workloads from the command
+// line — the knob-turning tool for exploring the policy space
+// without writing code.
+//
+//   latrsim_cli --workload=apache --policy=latr --workers=12
+//   latrsim_cli --workload=microbench --policy=linux --cores=16
+//   latrsim_cli --workload=parsec --benchmark=dedup --policy=abis
+//   latrsim_cli --workload=numa --benchmark=graph500 --policy=latr
+//
+// Prints the headline metrics plus the machine's stat dump with
+// --stats.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "machine/machine.hh"
+#include "sim/logging.hh"
+#include "machine/machine_stats.hh"
+#include "workload/microbench.hh"
+#include "workload/numabench.hh"
+#include "workload/parsec.hh"
+#include "workload/webserver.hh"
+
+using namespace latr;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "apache";
+    std::string policy = "latr";
+    std::string machine = "commodity";
+    std::string benchmark = "dedup";
+    unsigned workers = 12;
+    unsigned cores = 16;
+    std::uint64_t pages = 1;
+    bool dumpStats = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --workload=apache|nginx|microbench|parsec|numa\n"
+        "  --policy=linux|latr|abis|barrelfish\n"
+        "  --machine=commodity|large\n"
+        "  --benchmark=<parsec or numa benchmark name>\n"
+        "  --workers=N   (apache/nginx serving cores)\n"
+        "  --cores=N     (microbench/parsec/numa cores)\n"
+        "  --pages=N     (microbench pages per munmap)\n"
+        "  --stats       (dump the full stat registry)\n",
+        argv0);
+}
+
+bool
+parseArg(Options &opts, const char *arg)
+{
+    auto value = [&](const char *key) -> const char * {
+        const std::size_t n = std::strlen(key);
+        if (std::strncmp(arg, key, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
+    };
+    if (const char *v = value("--workload")) {
+        opts.workload = v;
+    } else if (const char *v = value("--policy")) {
+        opts.policy = v;
+    } else if (const char *v = value("--machine")) {
+        opts.machine = v;
+    } else if (const char *v = value("--benchmark")) {
+        opts.benchmark = v;
+    } else if (const char *v = value("--workers")) {
+        opts.workers = static_cast<unsigned>(std::atoi(v));
+    } else if (const char *v = value("--cores")) {
+        opts.cores = static_cast<unsigned>(std::atoi(v));
+    } else if (const char *v = value("--pages")) {
+        opts.pages = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (std::strcmp(arg, "--stats") == 0) {
+        opts.dumpStats = true;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+PolicyKind
+policyOf(const std::string &name)
+{
+    if (name == "linux")
+        return PolicyKind::LinuxSync;
+    if (name == "latr")
+        return PolicyKind::Latr;
+    if (name == "abis")
+        return PolicyKind::Abis;
+    if (name == "barrelfish")
+        return PolicyKind::Barrelfish;
+    fatal("unknown policy '%s'", name.c_str());
+}
+
+MachineConfig
+machineOf(const std::string &name)
+{
+    if (name == "commodity")
+        return MachineConfig::commodity2S16C();
+    if (name == "large")
+        return MachineConfig::largeNuma8S120C();
+    fatal("unknown machine '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        if (!parseArg(opts, argv[i])) {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    Machine machine(machineOf(opts.machine), policyOf(opts.policy));
+    std::printf("machine:  %s\npolicy:   %s\nworkload: %s\n\n",
+                machine.config().name.c_str(),
+                machine.policy().name(), opts.workload.c_str());
+
+    if (opts.workload == "apache" || opts.workload == "nginx") {
+        WebServerConfig cfg;
+        cfg.workers = opts.workers;
+        cfg.processes = 1;
+        cfg.mmapPerRequest = opts.workload == "apache";
+        WebServerWorkload server(machine, cfg);
+        WebServerResult r = server.measure(50 * kMsec, 250 * kMsec);
+        std::printf("requests/s:    %.0f\n", r.requestsPerSec);
+        std::printf("shootdowns/s:  %.0f\n", r.shootdownsPerSec);
+        std::printf("llc app miss:  %.2f%%\n",
+                    100.0 * r.llcAppMissRatio);
+    } else if (opts.workload == "microbench") {
+        MunmapMicrobenchConfig cfg;
+        cfg.sharingCores = opts.cores;
+        cfg.pages = opts.pages;
+        MunmapMicrobenchResult r = runMunmapMicrobench(machine, cfg);
+        std::printf("munmap mean:    %.2f us (p99 %.2f us)\n",
+                    r.munmapMeanNs / 1000.0, r.munmapP99Ns / 1000.0);
+        std::printf("shootdown mean: %.2f us\n",
+                    r.shootdownMeanNs / 1000.0);
+        std::printf("latr fallbacks: %llu\n",
+                    static_cast<unsigned long long>(r.latrFallbacks));
+    } else if (opts.workload == "parsec") {
+        ParsecResult r = runParsec(
+            machine, parsecProfile(opts.benchmark), opts.cores);
+        std::printf("runtime:       %.2f ms\n", r.runtimeNs / 1e6);
+        std::printf("shootdowns/s:  %.0f\n", r.shootdownsPerSec);
+    } else if (opts.workload == "numa") {
+        const NumaBenchProfile *profile = nullptr;
+        for (const NumaBenchProfile &p : numaBenchSuite())
+            if (opts.benchmark == p.name)
+                profile = &p;
+        if (!profile)
+            fatal("unknown numa benchmark '%s'",
+                  opts.benchmark.c_str());
+        NumaBenchResult r = runNumaBench(machine, *profile, opts.cores);
+        std::printf("runtime:       %.2f ms\n", r.runtimeNs / 1e6);
+        std::printf("migrations:    %llu (%.0f/s)\n",
+                    static_cast<unsigned long long>(r.migrations),
+                    r.migrationsPerSec);
+    } else {
+        usage(argv[0]);
+        return 1;
+    }
+
+    if (machine.checker() && machine.checker()->violations() != 0) {
+        std::fprintf(stderr, "reuse invariant VIOLATED: %s\n",
+                     machine.checker()->firstViolation().c_str());
+        return 1;
+    }
+    if (opts.dumpStats) {
+        std::printf("\n--- stats ---\n%s",
+                    machine.stats().dump().c_str());
+    }
+    return 0;
+}

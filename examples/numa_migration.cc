@@ -1,0 +1,52 @@
+// NUMA-migration scenario (the paper's section 4.3): memory is
+// first-touched on node 0, workers on node 1 keep accessing it, and
+// AutoNUMA repairs the placement by migrating pages — sampling pages
+// with prot-none PTEs first. Under Linux every sample costs a
+// synchronous shootdown; under LATR the first sweeping core performs
+// the deferred unmap at its next scheduler tick.
+//
+//   $ ./numa_migration
+
+#include <cstdio>
+
+#include "machine/machine.hh"
+#include "numa/autonuma.hh"
+#include "workload/numabench.hh"
+
+using namespace latr;
+
+int
+main()
+{
+    std::printf("AutoNUMA page migration: first-touch on node 0, "
+                "workers on both sockets\n\n");
+    std::printf("%-12s %12s %12s %12s %12s\n", "policy",
+                "runtime_ms", "migrations", "migr/s", "samples");
+
+    NumaBenchProfile profile = numaBenchSuite()[2]; // graph500
+    profile.arrayPages = 4096;
+    profile.itersPerCore = 400;
+
+    double linux_ms = 0;
+    for (PolicyKind policy :
+         {PolicyKind::LinuxSync, PolicyKind::Latr}) {
+        Machine machine(MachineConfig::commodity2S16C(), policy);
+        NumaBenchResult r = runNumaBench(machine, profile, 16);
+        std::printf("%-12s %12.2f %12llu %12.0f %12llu\n",
+                    machine.policy().name(), r.runtimeNs / 1e6,
+                    static_cast<unsigned long long>(r.migrations),
+                    r.migrationsPerSec,
+                    static_cast<unsigned long long>(r.samples));
+        if (policy == PolicyKind::LinuxSync)
+            linux_ms = r.runtimeNs / 1e6;
+        else
+            std::printf("\nLATR improvement: %.2f%%\n",
+                        100.0 * (1.0 - (r.runtimeNs / 1e6) / linux_ms));
+    }
+
+    std::printf("\nThe win is the removed *sampling* shootdown "
+                "(5.8%%-21.1%% of a migration, section 2.1); the "
+                "migration's own unmap stays synchronous under every "
+                "policy, as in Linux's migrate_pages().\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: build a machine, run a process on it, and watch what a
+// munmap() costs under stock Linux vs. LATR.
+//
+//   $ ./quickstart
+//
+// This is the 60-second tour of the library's public API: Machine,
+// Kernel (syscalls), and the per-policy behaviour of TLB coherence.
+
+#include <cstdio>
+
+#include "machine/machine.hh"
+
+using namespace latr;
+
+namespace
+{
+
+/** One shared-page munmap on a fresh machine under @p policy. */
+void
+demo(PolicyKind policy)
+{
+    // 1. Build the 2-socket, 16-core machine from the paper's
+    //    table 3, with the chosen TLB-coherence policy.
+    Machine machine(MachineConfig::commodity2S16C(), policy);
+    Kernel &kernel = machine.kernel();
+
+    // 2. Create a process with threads on four cores.
+    Process *proc = kernel.createProcess("demo");
+    Task *t0 = kernel.spawnTask(proc, 0);
+    Task *t1 = kernel.spawnTask(proc, 1);
+    Task *t8 = kernel.spawnTask(proc, 8); // other socket
+    machine.run(kUsec); // start the scheduler ticks
+
+    // 3. Map a page and touch it from all three cores: each TLB now
+    //    caches the translation.
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    kernel.touch(t0, m.addr, true);
+    kernel.touch(t1, m.addr, false);
+    kernel.touch(t8, m.addr, false);
+
+    // 4. munmap it from core 0. Linux must interrupt cores 1 and 8
+    //    and wait; LATR writes one 68-byte state and returns.
+    SyscallResult u = kernel.munmap(t0, m.addr, kPageSize);
+
+    std::printf("%-7s munmap latency: %6.2f us  "
+                "(coherence: %6.2f us, IPIs sent: %llu)\n",
+                machine.policy().name(), u.latency / 1000.0,
+                u.shootdown / 1000.0,
+                static_cast<unsigned long long>(
+                    machine.ipi().ipisSent()));
+
+    // 5. Let the machine settle (sweeps at the next ticks, lazy
+    //    reclamation after 2 ms) and verify nothing leaked and the
+    //    reuse invariant held throughout.
+    machine.run(6 * kMsec);
+    std::printf("        frames still allocated: %llu, "
+                "invariant violations: %llu\n",
+                static_cast<unsigned long long>(
+                    machine.frames().allocatedFrames()),
+                static_cast<unsigned long long>(
+                    machine.checker()->violations()));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("latr-sim quickstart: one shared-page munmap under "
+                "each TLB-coherence policy\n\n");
+    for (PolicyKind policy :
+         {PolicyKind::LinuxSync, PolicyKind::Barrelfish,
+          PolicyKind::Abis, PolicyKind::Latr})
+        demo(policy);
+    std::printf("\nLATR removes the IPIs and the wait from the "
+                "critical path; remote TLB entries die at the next "
+                "scheduler tick and memory is reclaimed 2 ms later.\n");
+    return 0;
+}

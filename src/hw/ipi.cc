@@ -1,0 +1,59 @@
+#include "hw/ipi.hh"
+
+#include <algorithm>
+
+namespace latr
+{
+
+IpiFabric::IpiFabric(EventQueue &queue, const NumaTopology &topo,
+                     const CostModel &cost)
+    : queue_(queue), topo_(topo), cost_(cost)
+{
+}
+
+IpiBroadcastResult
+IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
+                     Tick start,
+                     std::function<Duration(CoreId)> handler_cost,
+                     std::function<void(CoreId, Tick)> on_deliver)
+{
+    if (start < queue_.now())
+        start = queue_.now();
+    IpiBroadcastResult result;
+    result.allAcked = start;
+    result.sendsDone = start;
+
+    Tick send_clock = start;
+    targets.forEach([&](CoreId target) {
+        if (target == initiator)
+            return;
+        const unsigned hops = topo_.hops(initiator, target);
+
+        // ICR writes serialize on the initiating core.
+        send_clock += cost_.ipiSendCost(hops);
+
+        const Tick delivered = send_clock + cost_.ipiDeliveryCost(hops);
+        const Duration handler =
+            cost_.ipiHandlerFixed + handler_cost(target);
+        const Tick handler_done = delivered + handler;
+        const Tick acked = handler_done + cost_.cachelineCost(hops);
+
+        if (on_deliver) {
+            queue_.scheduleLambda(delivered, [on_deliver, target,
+                                              delivered]() {
+                on_deliver(target, delivered);
+            });
+        }
+
+        result.allAcked = std::max(result.allAcked, acked);
+        ++result.ipis;
+        ++ipisSent_;
+    });
+
+    result.sendsDone = send_clock;
+    if (result.ipis > 0)
+        ++broadcasts_;
+    return result;
+}
+
+} // namespace latr

@@ -1,0 +1,283 @@
+#include "hw/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+const Tlb::Entry *
+Tlb::Level::touch(const Key &k)
+{
+    auto it = map_.find(k);
+    if (it == map_.end())
+        return nullptr;
+    list_.splice(list_.begin(), list_, it->second);
+    return &*list_.begin();
+}
+
+const Tlb::Entry *
+Tlb::Level::peek(const Key &k) const
+{
+    auto it = map_.find(k);
+    if (it == map_.end())
+        return nullptr;
+    return &*it->second;
+}
+
+void
+Tlb::Level::insert(const Entry &e, Entry *victim_out, bool *had_victim)
+{
+    *had_victim = false;
+    auto it = map_.find(e.key);
+    if (it != map_.end()) {
+        // Refresh in place (e.g., remap to a new frame) and touch.
+        it->second->pfn = e.pfn;
+        it->second->writable = e.writable;
+        list_.splice(list_.begin(), list_, it->second);
+        return;
+    }
+    if (list_.size() >= capacity_) {
+        *victim_out = list_.back();
+        *had_victim = true;
+        map_.erase(list_.back().key);
+        list_.pop_back();
+    }
+    list_.push_front(e);
+    map_[e.key] = list_.begin();
+}
+
+bool
+Tlb::Level::remove(const Key &k, Entry *removed_out)
+{
+    auto it = map_.find(k);
+    if (it == map_.end())
+        return false;
+    if (removed_out)
+        *removed_out = *it->second;
+    list_.erase(it->second);
+    map_.erase(it);
+    return true;
+}
+
+Tlb::Tlb(CoreId core, unsigned l1_entries, unsigned l2_entries,
+         unsigned huge_entries)
+    : core_(core), l1_(l1_entries), l2_(l2_entries),
+      huge_(huge_entries)
+{
+    if (l1_entries == 0 || l2_entries == 0 || huge_entries == 0)
+        fatal("TLB levels need nonzero capacity");
+}
+
+void
+Tlb::notifyInsert(const Entry &e)
+{
+    if (listener_)
+        listener_->onTlbInsert(core_, e.key.vpn, e.pfn, e.key.pcid);
+}
+
+void
+Tlb::notifyRemove(const Entry &e)
+{
+    if (listener_)
+        listener_->onTlbRemove(core_, e.key.vpn, e.pfn, e.key.pcid);
+}
+
+TlbResult
+Tlb::lookup(Vpn vpn, Pcid pcid, Pfn *pfn_out, bool *writable_out,
+            bool *huge_out)
+{
+    if (huge_out)
+        *huge_out = false;
+    // The 2 MiB array covers whole regions; it wins when populated.
+    Key hk{hugeBaseOf(vpn), pcid};
+    if (const Entry *e = huge_.touch(hk)) {
+        ++l1Hits_;
+        if (pfn_out)
+            *pfn_out = e->pfn + (vpn - hugeBaseOf(vpn));
+        if (writable_out)
+            *writable_out = e->writable;
+        if (huge_out)
+            *huge_out = true;
+        return TlbResult::HitL1;
+    }
+    Key k{vpn, pcid};
+    if (const Entry *e = l1_.touch(k)) {
+        ++l1Hits_;
+        if (pfn_out)
+            *pfn_out = e->pfn;
+        if (writable_out)
+            *writable_out = e->writable;
+        return TlbResult::HitL1;
+    }
+    Entry promoted;
+    if (l2_.remove(k, &promoted)) {
+        ++l2Hits_;
+        if (pfn_out)
+            *pfn_out = promoted.pfn;
+        if (writable_out)
+            *writable_out = promoted.writable;
+        // Promote into L1; an L1 victim spills back into L2. Neither
+        // movement changes overall TLB membership, so no listener
+        // traffic unless the spill evicts an L2 entry.
+        Entry l1_victim;
+        bool had_l1_victim = false;
+        l1_.insert(promoted, &l1_victim, &had_l1_victim);
+        if (had_l1_victim) {
+            Entry l2_victim;
+            bool had_l2_victim = false;
+            l2_.insert(l1_victim, &l2_victim, &had_l2_victim);
+            if (had_l2_victim)
+                notifyRemove(l2_victim);
+        }
+        return TlbResult::HitL2;
+    }
+    ++misses_;
+    return TlbResult::Miss;
+}
+
+bool
+Tlb::probe(Vpn vpn, Pcid pcid) const
+{
+    Key k{vpn, pcid};
+    return l1_.peek(k) != nullptr || l2_.peek(k) != nullptr ||
+           probeHuge(vpn, pcid);
+}
+
+bool
+Tlb::probeHuge(Vpn vpn, Pcid pcid) const
+{
+    Key hk{hugeBaseOf(vpn), pcid};
+    return huge_.peek(hk) != nullptr;
+}
+
+void
+Tlb::insertHuge(Vpn base_vpn, Pfn base_pfn, Pcid pcid, bool writable)
+{
+    Key k{hugeBaseOf(base_vpn), pcid};
+    Entry old;
+    bool existed = huge_.remove(k, &old);
+    bool same_frame = existed && old.pfn == base_pfn;
+    if (existed && !same_frame)
+        notifyRemove(old);
+
+    Entry e{k, base_pfn, writable};
+    Entry victim;
+    bool had_victim = false;
+    huge_.insert(e, &victim, &had_victim);
+    if (!same_frame)
+        notifyInsert(e);
+    if (had_victim)
+        notifyRemove(victim);
+}
+
+void
+Tlb::insert(Vpn vpn, Pfn pfn, Pcid pcid, bool writable)
+{
+    Key k{vpn, pcid};
+    // Collapse any existing copy first so the listener sees a remap
+    // as remove(old frame) + insert(new frame). A permission-only
+    // change keeps the same frame and stays quiet.
+    Entry old;
+    bool existed = l1_.remove(k, &old) || l2_.remove(k, &old);
+    bool same_frame = existed && old.pfn == pfn;
+    if (existed && !same_frame)
+        notifyRemove(old);
+
+    Entry e{k, pfn, writable};
+    Entry l1_victim;
+    bool had_l1_victim = false;
+    l1_.insert(e, &l1_victim, &had_l1_victim);
+    if (!same_frame)
+        notifyInsert(e);
+    if (had_l1_victim) {
+        Entry l2_victim;
+        bool had_l2_victim = false;
+        l2_.insert(l1_victim, &l2_victim, &had_l2_victim);
+        if (had_l2_victim)
+            notifyRemove(l2_victim);
+    }
+}
+
+void
+Tlb::invalidatePage(Vpn vpn, Pcid pcid)
+{
+    Key k{vpn, pcid};
+    Entry removed;
+    if (l1_.remove(k, &removed))
+        notifyRemove(removed);
+    if (l2_.remove(k, &removed))
+        notifyRemove(removed);
+    // INVLPG drops whatever entry covers the address — including a
+    // 2 MiB one.
+    Key hk{hugeBaseOf(vpn), pcid};
+    if (huge_.remove(hk, &removed))
+        notifyRemove(removed);
+}
+
+void
+Tlb::invalidateRange(Vpn start_vpn, Vpn end_vpn, Pcid pcid)
+{
+    // Collect first: removal invalidates iterators.
+    auto in_range = [&](const Entry &e) {
+        return e.key.pcid == pcid && e.key.vpn >= start_vpn &&
+               e.key.vpn <= end_vpn;
+    };
+    for (const Key &k : l1_.keysMatching(in_range)) {
+        Entry removed;
+        if (l1_.remove(k, &removed))
+            notifyRemove(removed);
+    }
+    for (const Key &k : l2_.keysMatching(in_range)) {
+        Entry removed;
+        if (l2_.remove(k, &removed))
+            notifyRemove(removed);
+    }
+    // Huge entries overlap the range if any of their 512 pages do.
+    auto huge_overlaps = [&](const Entry &e) {
+        return e.key.pcid == pcid &&
+               e.key.vpn <= end_vpn &&
+               e.key.vpn + kHugePageSpan - 1 >= start_vpn;
+    };
+    for (const Key &k : huge_.keysMatching(huge_overlaps)) {
+        Entry removed;
+        if (huge_.remove(k, &removed))
+            notifyRemove(removed);
+    }
+}
+
+void
+Tlb::invalidatePcid(Pcid pcid)
+{
+    auto match = [&](const Entry &e) { return e.key.pcid == pcid; };
+    for (const Key &k : l1_.keysMatching(match)) {
+        Entry removed;
+        if (l1_.remove(k, &removed))
+            notifyRemove(removed);
+    }
+    for (const Key &k : l2_.keysMatching(match)) {
+        Entry removed;
+        if (l2_.remove(k, &removed))
+            notifyRemove(removed);
+    }
+    for (const Key &k : huge_.keysMatching(match)) {
+        Entry removed;
+        if (huge_.remove(k, &removed))
+            notifyRemove(removed);
+    }
+}
+
+void
+Tlb::flushAll()
+{
+    ++flushes_;
+    if (listener_) {
+        l1_.forEach([&](const Entry &e) { notifyRemove(e); });
+        l2_.forEach([&](const Entry &e) { notifyRemove(e); });
+        huge_.forEach([&](const Entry &e) { notifyRemove(e); });
+    }
+    l1_.clear();
+    l2_.clear();
+    huge_.clear();
+}
+
+} // namespace latr

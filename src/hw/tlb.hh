@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Per-core two-level TLB model. Capacities follow table 3 of the
+ * paper (64-entry L1 D-TLB, 512/1024-entry L2 STLB), entries are
+ * tagged with a PCID, and the usual x86 operations are provided:
+ * INVLPG of a single page, a full flush (CR3 write), and PCID-
+ * selective flushes. An optional listener observes every insertion
+ * and removal, which the invariant checker uses to prove the paper's
+ * reuse invariant.
+ */
+
+#ifndef LATR_HW_TLB_HH_
+#define LATR_HW_TLB_HH_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** Observes TLB content changes (used by the invariant checker). */
+class TlbListener
+{
+  public:
+    virtual ~TlbListener() = default;
+
+    /** Called when a translation enters the TLB (either level). */
+    virtual void onTlbInsert(CoreId core, Vpn vpn, Pfn pfn, Pcid pcid) = 0;
+
+    /**
+     * Called when a translation leaves the TLB entirely (it is in
+     * neither level anymore).
+     */
+    virtual void onTlbRemove(CoreId core, Vpn vpn, Pfn pfn, Pcid pcid) = 0;
+};
+
+/** Outcome of a TLB lookup. */
+enum class TlbResult
+{
+    HitL1,  ///< found in the L1 D-TLB
+    HitL2,  ///< found in the L2 STLB (promoted to L1)
+    Miss,   ///< page walk required
+};
+
+/**
+ * A two-level, per-core TLB. Both levels are fully associative with
+ * true LRU replacement; L1 victims spill into L2, L2 victims leave
+ * the TLB. Lookups and insertions are keyed by (PCID, VPN).
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param core owning core id (reported to the listener).
+     * @param l1_entries L1 capacity (64 on both paper machines).
+     * @param l2_entries L2 capacity.
+     * @param huge_entries capacity of the separate 2 MiB-entry
+     *        array (32, as on the paper's Haswell/Ivy Bridge parts).
+     */
+    Tlb(CoreId core, unsigned l1_entries, unsigned l2_entries,
+        unsigned huge_entries = 32);
+
+    Tlb(const Tlb &) = delete;
+    Tlb &operator=(const Tlb &) = delete;
+
+    /** Attach @p listener (may be nullptr to detach). */
+    void setListener(TlbListener *listener) { listener_ = listener; }
+
+    /**
+     * Look up @p vpn under @p pcid. On an L2 hit the entry is
+     * promoted to L1.
+     * @param pfn_out receives the frame on a hit.
+     * @param writable_out receives the cached write permission on a
+     *        hit (x86 TLBs cache the W bit; a write through a
+     *        read-only entry forces a re-walk).
+     */
+    TlbResult lookup(Vpn vpn, Pcid pcid, Pfn *pfn_out = nullptr,
+                     bool *writable_out = nullptr,
+                     bool *huge_out = nullptr);
+
+    /** True if the translation is cached (no LRU side effects). */
+    bool probe(Vpn vpn, Pcid pcid) const;
+
+    /** Install a translation (after a page walk). */
+    void insert(Vpn vpn, Pfn pfn, Pcid pcid, bool writable = true);
+
+    /**
+     * Install a 2 MiB translation in the huge-entry array. The
+     * listener sees it keyed by the huge region's base frame.
+     */
+    void insertHuge(Vpn base_vpn, Pfn base_pfn, Pcid pcid,
+                    bool writable = true);
+
+    /** True if a huge entry covers @p vpn (no LRU side effects). */
+    bool probeHuge(Vpn vpn, Pcid pcid) const;
+
+    /** INVLPG: drop one page's translation under @p pcid. */
+    void invalidatePage(Vpn vpn, Pcid pcid);
+
+    /** Drop every translation for pages in [start_vpn, end_vpn]. */
+    void invalidateRange(Vpn start_vpn, Vpn end_vpn, Pcid pcid);
+
+    /** Drop every translation tagged @p pcid. */
+    void invalidatePcid(Pcid pcid);
+
+    /** Full flush (CR3 write): drop everything. */
+    void flushAll();
+
+    /** Number of valid entries across all arrays. */
+    std::size_t
+    size() const
+    {
+        return l1_.size() + l2_.size() + huge_.size();
+    }
+
+    /** Number of valid 2 MiB entries. */
+    std::size_t hugeSize() const { return huge_.size(); }
+
+    /// @name Stats
+    /// @{
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Hits() const { return l2Hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t flushes() const { return flushes_; }
+    /// @}
+
+  private:
+    struct Key
+    {
+        Vpn vpn;
+        Pcid pcid;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return vpn == o.vpn && pcid == o.pcid;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<std::uint64_t>()(
+                (static_cast<std::uint64_t>(k.pcid) << 48) ^ k.vpn);
+        }
+    };
+
+    struct Entry
+    {
+        Key key;
+        Pfn pfn;
+        bool writable;
+    };
+
+    /** One fully associative LRU level. */
+    class Level
+    {
+      public:
+        explicit Level(unsigned capacity) : capacity_(capacity) {}
+
+        bool contains(const Key &k) const { return map_.count(k) != 0; }
+
+        /** Find and touch (move to MRU). @return entry or nullptr. */
+        const Entry *touch(const Key &k);
+
+        /** Find without LRU update. */
+        const Entry *peek(const Key &k) const;
+
+        /**
+         * Insert; if full, the LRU entry is evicted into
+         * @p victim_out and true is returned in *had_victim.
+         */
+        void insert(const Entry &e, Entry *victim_out, bool *had_victim);
+
+        /** Remove by key. @return true if present. */
+        bool remove(const Key &k, Entry *removed_out = nullptr);
+
+        std::size_t size() const { return list_.size(); }
+
+        /** Invoke @p fn on each entry; removal is not allowed in fn. */
+        template <typename Fn>
+        void
+        forEach(Fn &&fn) const
+        {
+            for (const auto &e : list_)
+                fn(e);
+        }
+
+        void clear() { list_.clear(); map_.clear(); }
+
+        /** Collect keys matching @p pred (for selective flushes). */
+        template <typename Pred>
+        std::vector<Key>
+        keysMatching(Pred &&pred) const
+        {
+            std::vector<Key> keys;
+            for (const auto &e : list_)
+                if (pred(e))
+                    keys.push_back(e.key);
+            return keys;
+        }
+
+      private:
+        unsigned capacity_;
+        std::list<Entry> list_; // front = MRU
+        std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+    };
+
+    void notifyInsert(const Entry &e);
+    void notifyRemove(const Entry &e);
+
+    CoreId core_;
+    Level l1_;
+    Level l2_;
+    Level huge_; // separate 2 MiB-entry array
+    TlbListener *listener_ = nullptr;
+
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t l2Hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t flushes_ = 0;
+};
+
+} // namespace latr
+
+#endif // LATR_HW_TLB_HH_

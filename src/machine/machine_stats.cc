@@ -1,0 +1,48 @@
+#include "machine/machine_stats.hh"
+
+#include <sstream>
+
+namespace latr
+{
+
+MachineSummary
+summarize(Machine &machine, Duration elapsed)
+{
+    MachineSummary s;
+    StatRegistry &st = machine.stats();
+    s.shootdownsPerSec =
+        ratePerSecond(st.counterValue("coh.shootdowns"), elapsed);
+    s.ipisPerSec = ratePerSecond(machine.ipi().ipisSent(), elapsed);
+    s.munmapMeanNs = st.distribution("munmap.latency_ns").mean();
+    s.munmapShootdownMeanNs =
+        st.distribution("munmap.shootdown_ns").mean();
+    s.migrations = st.counterValue("numa.migrations");
+    s.latrFallbacks = st.counterValue("latr.fallback_ipis");
+    s.latrStatesSaved = st.counterValue("latr.states_saved");
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (NodeId n = 0; n < machine.config().sockets; ++n) {
+        hits += machine.llcOf(n).hits(CacheAccessOrigin::App);
+        misses += machine.llcOf(n).misses(CacheAccessOrigin::App);
+    }
+    if (hits + misses > 0)
+        s.appLlcMissRatio = static_cast<double>(misses) /
+                            static_cast<double>(hits + misses);
+    return s;
+}
+
+std::string
+formatSummary(const MachineSummary &s)
+{
+    std::ostringstream os;
+    os << "shootdowns/s=" << s.shootdownsPerSec
+       << " ipis/s=" << s.ipisPerSec
+       << " munmap_mean_ns=" << s.munmapMeanNs
+       << " shootdown_mean_ns=" << s.munmapShootdownMeanNs
+       << " llc_app_miss=" << s.appLlcMissRatio
+       << " migrations=" << s.migrations;
+    return os.str();
+}
+
+} // namespace latr

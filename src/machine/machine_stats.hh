@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Derived metrics benches report: rates per second of simulated
+ * time, munmap latency summaries, cache miss ratios — the quantities
+ * the paper's figures plot.
+ */
+
+#ifndef LATR_MACHINE_MACHINE_STATS_HH_
+#define LATR_MACHINE_MACHINE_STATS_HH_
+
+#include <string>
+
+#include "machine/machine.hh"
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** A snapshot of the headline metrics over an interval. */
+struct MachineSummary
+{
+    double shootdownsPerSec = 0.0;
+    double ipisPerSec = 0.0;
+    double munmapMeanNs = 0.0;
+    double munmapShootdownMeanNs = 0.0;
+    double appLlcMissRatio = 0.0;
+    std::uint64_t migrations = 0;
+    std::uint64_t latrFallbacks = 0;
+    std::uint64_t latrStatesSaved = 0;
+};
+
+/**
+ * Summarize @p machine over @p elapsed of simulated time (since the
+ * last stats reset).
+ */
+MachineSummary summarize(Machine &machine, Duration elapsed);
+
+/** Render a one-line summary for bench output. */
+std::string formatSummary(const MachineSummary &summary);
+
+} // namespace latr
+
+#endif // LATR_MACHINE_MACHINE_STATS_HH_

@@ -1,0 +1,183 @@
+#include "mem/frame_allocator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+FrameAllocator::FrameAllocator(unsigned nodes,
+                               std::uint64_t frames_per_node)
+    : nodes_(nodes), framesPerNode_(frames_per_node)
+{
+    if (nodes == 0 || frames_per_node == 0)
+        fatal("frame allocator needs at least one node and one frame");
+    freeLists_.resize(nodes);
+    refcounts_.assign(static_cast<std::size_t>(nodes) * frames_per_node,
+                      0);
+    // LIFO free lists: push high frames first so low frames come out
+    // first, which keeps test output predictable.
+    for (unsigned n = 0; n < nodes; ++n) {
+        auto &list = freeLists_[n];
+        list.reserve(frames_per_node);
+        const Pfn base = static_cast<Pfn>(n) * frames_per_node;
+        for (std::uint64_t i = frames_per_node; i-- > 0;)
+            list.push_back(base + i);
+    }
+}
+
+void
+FrameAllocator::checkPfn(Pfn pfn) const
+{
+    if (pfn >= static_cast<Pfn>(nodes_) * framesPerNode_)
+        panic("pfn %llu out of range",
+              static_cast<unsigned long long>(pfn));
+}
+
+Pfn
+FrameAllocator::alloc(NodeId node)
+{
+    if (node >= nodes_)
+        panic("alloc from nonexistent node %u", node);
+    for (unsigned i = 0; i < nodes_; ++i) {
+        NodeId candidate = (node + i) % nodes_;
+        auto &list = freeLists_[candidate];
+        if (list.empty())
+            continue;
+        Pfn pfn = list.back();
+        list.pop_back();
+        if (refcounts_[pfn] != 0)
+            panic("free list held frame %llu with refcount %u",
+                  static_cast<unsigned long long>(pfn),
+                  refcounts_[pfn]);
+        refcounts_[pfn] = 1;
+        ++allocated_;
+        if (listener_)
+            listener_->onFrameAlloc(pfn);
+        return pfn;
+    }
+    return kPfnInvalid;
+}
+
+Pfn
+FrameAllocator::allocLowest(NodeId node)
+{
+    if (node >= nodes_)
+        panic("allocLowest from nonexistent node %u", node);
+    auto &list = freeLists_[node];
+    if (list.empty())
+        return kPfnInvalid;
+    auto it = std::min_element(list.begin(), list.end());
+    Pfn pfn = *it;
+    *it = list.back();
+    list.pop_back();
+    if (refcounts_[pfn] != 0)
+        panic("free list held frame %llu with refcount %u",
+              static_cast<unsigned long long>(pfn), refcounts_[pfn]);
+    refcounts_[pfn] = 1;
+    ++allocated_;
+    if (listener_)
+        listener_->onFrameAlloc(pfn);
+    return pfn;
+}
+
+Pfn
+FrameAllocator::allocHuge(NodeId node)
+{
+    if (node >= nodes_)
+        panic("allocHuge from nonexistent node %u", node);
+    const Pfn node_base = static_cast<Pfn>(node) * framesPerNode_;
+    const Pfn node_end = node_base + framesPerNode_;
+    // Scan aligned runs for one that is fully free.
+    for (Pfn base = node_base; base + kHugePageSpan <= node_end;
+         base += kHugePageSpan) {
+        bool free_run = true;
+        for (Pfn f = base; f < base + kHugePageSpan; ++f) {
+            if (refcounts_[f] != 0) {
+                free_run = false;
+                break;
+            }
+        }
+        if (!free_run)
+            continue;
+        // Claim the run: pull every frame out of the free list.
+        auto &list = freeLists_[node];
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](Pfn f) {
+                                      return f >= base &&
+                                             f < base + kHugePageSpan;
+                                  }),
+                   list.end());
+        for (Pfn f = base; f < base + kHugePageSpan; ++f) {
+            refcounts_[f] = 1;
+            ++allocated_;
+            if (listener_)
+                listener_->onFrameAlloc(f);
+        }
+        return base;
+    }
+    return kPfnInvalid;
+}
+
+void
+FrameAllocator::putHuge(Pfn base)
+{
+    checkPfn(base);
+    if (base % kHugePageSpan != 0)
+        panic("putHuge on unaligned frame %llu",
+              static_cast<unsigned long long>(base));
+    // Base frame first: the invariant checker keys huge TLB entries
+    // by the base frame, so a premature release is caught there.
+    for (Pfn f = base; f < base + kHugePageSpan; ++f)
+        put(f);
+}
+
+void
+FrameAllocator::get(Pfn pfn)
+{
+    checkPfn(pfn);
+    if (refcounts_[pfn] == 0)
+        panic("get() on free frame %llu",
+              static_cast<unsigned long long>(pfn));
+    ++refcounts_[pfn];
+}
+
+void
+FrameAllocator::put(Pfn pfn)
+{
+    checkPfn(pfn);
+    if (refcounts_[pfn] == 0)
+        panic("put() on free frame %llu",
+              static_cast<unsigned long long>(pfn));
+    if (--refcounts_[pfn] == 0) {
+        --allocated_;
+        if (listener_)
+            listener_->onFrameFree(pfn);
+        freeLists_[nodeOf(pfn)].push_back(pfn);
+    }
+}
+
+std::uint32_t
+FrameAllocator::refcount(Pfn pfn) const
+{
+    checkPfn(pfn);
+    return refcounts_[pfn];
+}
+
+NodeId
+FrameAllocator::nodeOf(Pfn pfn) const
+{
+    checkPfn(pfn);
+    return static_cast<NodeId>(pfn / framesPerNode_);
+}
+
+std::uint64_t
+FrameAllocator::freeFrames(NodeId node) const
+{
+    if (node >= nodes_)
+        panic("freeFrames of nonexistent node %u", node);
+    return freeLists_[node].size();
+}
+
+} // namespace latr

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * A four-level, x86-64-style radix page table. Each level resolves
+ * nine bits of the virtual page number; leaves hold PTEs with the
+ * flag bits the paper's mechanisms manipulate: Present, Writable,
+ * Accessed and Dirty (harvested by ABIS), and ProtNone (the NUMA-
+ * hint state AutoNUMA uses to sample accesses).
+ */
+
+#ifndef LATR_MEM_PAGE_TABLE_HH_
+#define LATR_MEM_PAGE_TABLE_HH_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** PTE flag bits. */
+enum PteFlag : std::uint8_t
+{
+    kPtePresent = 1 << 0,   ///< translation valid
+    kPteWrite = 1 << 1,     ///< writable
+    kPteAccessed = 1 << 2,  ///< set by hardware on access
+    kPteDirty = 1 << 3,     ///< set by hardware on write
+    kPteProtNone = 1 << 4,  ///< NUMA-hint: present but access faults
+    kPteCow = 1 << 5,       ///< copy-on-write: write faults
+    kPteHuge = 1 << 6,      ///< PMD-level 2 MiB mapping
+};
+
+/** A leaf page-table entry. */
+struct Pte
+{
+    Pfn pfn = kPfnInvalid;
+    std::uint8_t flags = 0;
+
+    bool present() const { return flags & kPtePresent; }
+    bool writable() const { return flags & kPteWrite; }
+    bool accessed() const { return flags & kPteAccessed; }
+    bool dirty() const { return flags & kPteDirty; }
+    bool protNone() const { return flags & kPteProtNone; }
+    bool cow() const { return flags & kPteCow; }
+    bool huge() const { return flags & kPteHuge; }
+};
+
+/**
+ * One process' page table. Nodes are allocated lazily on first map
+ * and freed only with the table (matching Linux, which frees interior
+ * nodes only at exit/unmap-large).
+ */
+class PageTable
+{
+  public:
+    PageTable() = default;
+
+    PageTable(const PageTable &) = delete;
+    PageTable &operator=(const PageTable &) = delete;
+
+    /**
+     * Install a translation. Panics if a present mapping exists
+     * (callers must unmap first; matching kernel behaviour where
+     * double-mapping is a bug).
+     */
+    void map(Vpn vpn, Pfn pfn, std::uint8_t flags);
+
+    /**
+     * Remove a translation.
+     * @return the old PTE; pte.present() is false if none existed.
+     */
+    Pte unmap(Vpn vpn);
+
+    /**
+     * Look up a PTE for modification; nullptr if no leaf exists.
+     * Does not allocate.
+     */
+    Pte *find(Vpn vpn);
+
+    /** Const lookup. */
+    const Pte *find(Vpn vpn) const;
+
+    /**
+     * Simulate a hardware walk: looks up @p vpn and, when present
+     * and not prot-none, sets Accessed (and Dirty when
+     * @p is_write). @return the PTE or nullptr.
+     */
+    Pte *walkHardware(Vpn vpn, bool is_write);
+
+    /** Set flag bits on an existing present PTE. */
+    void setFlags(Vpn vpn, std::uint8_t flags);
+
+    /** Clear flag bits on an existing present PTE. */
+    void clearFlags(Vpn vpn, std::uint8_t flags);
+
+    /**
+     * Invoke @p fn on every present PTE in [start_vpn, end_vpn].
+     * The callback may modify the PTE but must not map/unmap.
+     */
+    void forEachPresent(Vpn start_vpn, Vpn end_vpn,
+                        const std::function<void(Vpn, Pte &)> &fn);
+
+    /** Number of present leaf translations. */
+    std::uint64_t presentPages() const { return present_; }
+
+    /// @name 2 MiB (PMD-level) huge mappings
+    /// @{
+
+    /**
+     * Install a huge mapping covering [base_vpn, base_vpn + 512).
+     * @p base_vpn and @p base_pfn must be kHugePageSpan-aligned, and
+     * no base-page mapping may exist in the range.
+     */
+    void mapHuge(Vpn base_vpn, Pfn base_pfn, std::uint8_t flags);
+
+    /**
+     * Remove a huge mapping.
+     * @return the old entry; !present() if none existed.
+     */
+    Pte unmapHuge(Vpn base_vpn);
+
+    /** Huge entry covering @p vpn (any page in the region). */
+    Pte *findHuge(Vpn vpn);
+    const Pte *findHuge(Vpn vpn) const;
+
+    /** Present huge mappings. */
+    std::uint64_t presentHugePages() const
+    {
+        return hugeEntries_.size();
+    }
+
+    /** Invoke @p fn on each present huge mapping (by base vpn). */
+    void forEachHuge(const std::function<void(Vpn, Pte &)> &fn);
+
+    /// @}
+
+  private:
+    static constexpr unsigned kBitsPerLevel = 9;
+    static constexpr unsigned kFanout = 1 << kBitsPerLevel;
+    static constexpr std::uint64_t kLevelMask = kFanout - 1;
+
+    struct Leaf
+    {
+        std::array<Pte, kFanout> ptes{};
+    };
+
+    struct L2
+    {
+        std::array<std::unique_ptr<Leaf>, kFanout> children{};
+    };
+
+    struct L3
+    {
+        std::array<std::unique_ptr<L2>, kFanout> children{};
+    };
+
+    struct L4
+    {
+        std::array<std::unique_ptr<L3>, kFanout> children{};
+    };
+
+    static unsigned
+    index(Vpn vpn, unsigned level)
+    {
+        // level 3 = top (L4 table), level 0 = leaf index.
+        return static_cast<unsigned>(
+            (vpn >> (kBitsPerLevel * level)) & kLevelMask);
+    }
+
+    Pte *lookup(Vpn vpn, bool create);
+
+    L4 root_;
+    std::uint64_t present_ = 0;
+    /** PMD-level mappings, keyed by kHugePageSpan-aligned base vpn. */
+    std::map<Vpn, Pte> hugeEntries_;
+};
+
+} // namespace latr
+
+#endif // LATR_MEM_PAGE_TABLE_HH_

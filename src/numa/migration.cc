@@ -1,0 +1,79 @@
+#include "numa/migration.hh"
+
+namespace latr
+{
+
+PageMigrator::PageMigrator(Kernel &kernel)
+    : kernel_(kernel)
+{
+}
+
+Duration
+PageMigrator::migrate(Task *task, Vpn vpn, NodeId target)
+{
+    AddressSpace &mm = task->mm();
+    FrameAllocator &frames = mm.frames();
+    Pte *pte = mm.pageTable().find(vpn);
+    if (!pte)
+        return 0; // raced with unmap
+    const Pfn old = pte->pfn;
+    if (frames.nodeOf(old) == target)
+        return 0; // already local
+
+    const Pfn fresh = frames.alloc(target);
+    if (fresh == kPfnInvalid)
+        return 0; // target node full: abort, like Linux
+    return migrateToFrame(task, vpn, fresh);
+}
+
+Duration
+PageMigrator::migrateToFrame(Task *task, Vpn vpn, Pfn fresh,
+                             bool *moved_out)
+{
+    if (moved_out)
+        *moved_out = false;
+    AddressSpace &mm = task->mm();
+    FrameAllocator &frames = mm.frames();
+    Pte *pte = mm.pageTable().find(vpn);
+    if (!pte || pte->pfn == fresh) {
+        frames.put(fresh);
+        return 0;
+    }
+    const Pfn old = pte->pfn;
+
+    const CostModel &cost = kernel_.cost();
+    const CoreId core = task->core();
+    Duration spent = cost.migrateBase;
+
+    // try_to_unmap: remove the translation, invalidate locally, and
+    // shoot it down synchronously — migration cannot copy while any
+    // core can still write the old frame. This shootdown exists
+    // under every policy; LATR only removed the *sampling* one.
+    Pte saved = mm.pageTable().unmap(vpn);
+    kernel_.scheduler().tlbOf(core).invalidatePage(vpn, mm.pcid());
+    spent += cost.pteClearPerPage + cost.invlpg;
+    const Duration wait = kernel_.policy()->onSyncShootdown(
+        &mm, core, vpn, vpn, 1, kernel_.now() + spent);
+    spent += wait;
+
+    // Copy and remap onto the target node.
+    spent += cost.migrateCopyPerPage;
+    std::uint8_t flags = static_cast<std::uint8_t>(
+        saved.flags & ~(kPtePresent | kPteProtNone));
+    mm.pageTable().map(vpn, fresh, flags);
+
+    // The old frame returns to the pool once the shootdown is
+    // complete (every invalidation event precedes the last ACK).
+    kernel_.queue().scheduleLambda(kernel_.now() + spent,
+                                   [&frames, old]() {
+                                       frames.put(old);
+                                   });
+
+    ++migrations_;
+    kernel_.stats().counter("numa.migrations").inc();
+    if (moved_out)
+        *moved_out = true;
+    return spent;
+}
+
+} // namespace latr

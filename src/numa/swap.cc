@@ -1,0 +1,112 @@
+#include "numa/swap.hh"
+
+namespace latr
+{
+
+namespace
+{
+std::uint64_t
+swapKey(MmId mm, Vpn vpn)
+{
+    return (mm << 40) ^ vpn;
+}
+} // namespace
+
+SwapDaemon::SwapDaemon(Kernel &kernel, Duration scan_interval,
+                       unsigned max_evictions_per_scan)
+    : kernel_(kernel), scanInterval_(scan_interval),
+      maxEvictions_(max_evictions_per_scan), scanEvent_(this)
+{
+}
+
+SwapDaemon::~SwapDaemon()
+{
+    stop();
+}
+
+void
+SwapDaemon::track(Process *process)
+{
+    tracked_.push_back(process);
+}
+
+void
+SwapDaemon::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    kernel_.queue().schedule(&scanEvent_,
+                             kernel_.now() + scanInterval_);
+}
+
+void
+SwapDaemon::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    if (scanEvent_.scheduled())
+        kernel_.queue().deschedule(&scanEvent_);
+}
+
+bool
+SwapDaemon::wasSwappedOut(MmId mm, Vpn vpn) const
+{
+    return swappedOut_.count(swapKey(mm, vpn)) != 0;
+}
+
+void
+SwapDaemon::scan()
+{
+    unsigned evicted = 0;
+    for (Process *process : tracked_) {
+        if (evicted >= maxEvictions_)
+            break;
+        AddressSpace &mm = process->mm();
+        Task *context = process->tasks().empty()
+                            ? nullptr
+                            : process->tasks().front();
+        if (!context)
+            continue;
+
+        // One-hand clock: pages with the accessed bit get a second
+        // chance (bit cleared); cold pages are evicted.
+        std::vector<Vpn> cold;
+        for (const auto &kv : mm.vmas()) {
+            const Vma &vma = kv.second;
+            mm.pageTable().forEachPresent(
+                pageOf(vma.start), pageOf(vma.end) - 1,
+                [&](Vpn vpn, Pte &pte) {
+                    if (pte.protNone())
+                        return; // mid-sample; leave alone
+                    if (pte.accessed()) {
+                        pte.flags &= static_cast<std::uint8_t>(
+                            ~kPteAccessed);
+                    } else if (cold.size() <
+                               maxEvictions_ - evicted) {
+                        cold.push_back(vpn);
+                    }
+                });
+            if (cold.size() >= maxEvictions_ - evicted)
+                break;
+        }
+
+        // Evict via madvise-like lazy free: the policy owns the
+        // shootdown and frame release (lazy under LATR).
+        for (Vpn vpn : cold) {
+            SyscallResult r =
+                kernel_.madvise(context, addrOf(vpn), kPageSize);
+            if (r.ok) {
+                swappedOut_.insert(swapKey(mm.id(), vpn));
+                ++evicted;
+                ++evictions_;
+                kernel_.stats().counter("swap.evictions").inc();
+            }
+        }
+    }
+    kernel_.queue().schedule(&scanEvent_,
+                             kernel_.now() + scanInterval_);
+}
+
+} // namespace latr

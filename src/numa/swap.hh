@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A page-swap daemon exercising the other "migration-class" lazy
+ * operation of the paper's table 1: swapping cold pages out. The
+ * daemon harvests PTE accessed bits on a period (a one-hand clock
+ * approximation of the kernel's LRU), and evicts pages that stayed
+ * cold for a full period. The unmap goes through the coherence
+ * policy's free path, so under LATR the shootdown and the frame
+ * release are lazy (section 3: "with an LRU-based page swapping
+ * algorithm, the page table unmap and swap operation can be
+ * performed lazily after the last core has invalidated the TLB
+ * entry").
+ */
+
+#ifndef LATR_NUMA_SWAP_HH_
+#define LATR_NUMA_SWAP_HH_
+
+#include <unordered_set>
+#include <vector>
+
+#include "os/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** Clock-style page-out daemon. */
+class SwapDaemon
+{
+  public:
+    /**
+     * @param kernel the kernel.
+     * @param scan_interval period between eviction scans.
+     * @param max_evictions_per_scan eviction batch bound.
+     */
+    SwapDaemon(Kernel &kernel, Duration scan_interval,
+               unsigned max_evictions_per_scan);
+
+    ~SwapDaemon();
+
+    SwapDaemon(const SwapDaemon &) = delete;
+    SwapDaemon &operator=(const SwapDaemon &) = delete;
+
+    /** Consider @p process's pages for eviction. */
+    void track(Process *process);
+
+    void start();
+    void stop();
+
+    /** A page previously swapped out that was faulted back in. */
+    bool wasSwappedOut(MmId mm, Vpn vpn) const;
+
+    std::uint64_t evictions() const { return evictions_; }
+
+  private:
+    class ScanEvent : public Event
+    {
+      public:
+        explicit ScanEvent(SwapDaemon *sd) : sd_(sd) {}
+        void process() override { sd_->scan(); }
+        const char *name() const override { return "swap-scan"; }
+
+      private:
+        SwapDaemon *sd_;
+    };
+
+    void scan();
+
+    Kernel &kernel_;
+    Duration scanInterval_;
+    unsigned maxEvictions_;
+    ScanEvent scanEvent_;
+    bool running_ = false;
+
+    std::vector<Process *> tracked_;
+    std::unordered_set<std::uint64_t> swappedOut_;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace latr
+
+#endif // LATR_NUMA_SWAP_HH_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The narrow interface TLB-coherence policies use to reach per-core
+ * machine state (TLBs, stolen-time accounting, idleness) without
+ * depending on the scheduler implementation. The scheduler implements
+ * this.
+ */
+
+#ifndef LATR_OS_CORE_SERVICE_HH_
+#define LATR_OS_CORE_SERVICE_HH_
+
+#include "hw/tlb.hh"
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** Per-core services exposed to TLB-coherence policies. */
+class CoreService
+{
+  public:
+    virtual ~CoreService() = default;
+
+    /** Number of cores in the machine. */
+    virtual unsigned coreCount() const = 0;
+
+    /** The TLB of @p core. */
+    virtual Tlb &tlbOf(CoreId core) = 0;
+
+    /**
+     * Charge @p ns of asynchronous CPU time (interrupt handlers,
+     * LATR sweeps) to @p core; the core's next operation stretches
+     * by this amount.
+     */
+    virtual void chargeStolen(CoreId core, Duration ns) = 0;
+
+    /** True if no task occupies @p core. */
+    virtual bool coreIdle(CoreId core) const = 0;
+
+    /** NUMA node of @p core. */
+    virtual NodeId nodeOfCore(CoreId core) const = 0;
+};
+
+} // namespace latr
+
+#endif // LATR_OS_CORE_SERVICE_HH_

@@ -1,0 +1,501 @@
+#include "os/kernel.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+Kernel::Kernel(EventQueue &queue, const NumaTopology &topo,
+               const MachineConfig &config, FrameAllocator &frames,
+               Scheduler &sched, StatRegistry &stats)
+    : queue_(queue), topo_(topo), config_(config), frames_(frames),
+      sched_(sched), stats_(stats)
+{
+}
+
+void
+Kernel::setPolicy(TlbCoherencePolicy *policy)
+{
+    policy_ = policy;
+    sched_.setPolicy(policy);
+}
+
+Process *
+Kernel::createProcess(std::string name)
+{
+    const MmId id = nextMm_++;
+    const Pcid pcid =
+        config_.pcidEnabled ? static_cast<Pcid>(id % 4095 + 1)
+                            : kPcidNone;
+    processes_.push_back(
+        std::make_unique<Process>(id, pcid, frames_, std::move(name)));
+    return processes_.back().get();
+}
+
+Task *
+Kernel::spawnTask(Process *process, CoreId core)
+{
+    if (core >= topo_.totalCores())
+        fatal("spawnTask on nonexistent core %u", core);
+    tasks_.push_back(
+        std::make_unique<Task>(nextTask_++, process, core));
+    Task *task = tasks_.back().get();
+    task->setName(process->name() + "/t" +
+                  std::to_string(task->id()));
+    process->tasks().push_back(task);
+    sched_.addTask(task);
+    return task;
+}
+
+void
+Kernel::exitTask(Task *task)
+{
+    sched_.removeTask(task);
+    auto &list = task->process()->tasks();
+    list.erase(std::remove(list.begin(), list.end(), task), list.end());
+}
+
+void
+Kernel::exitProcess(Process *process)
+{
+    // Unschedule everything first (each removal flushes/updates
+    // residency as needed).
+    while (!process->tasks().empty())
+        exitTask(process->tasks().back());
+
+    AddressSpace &mm = process->mm();
+    // Scrub TLB residue on any core still holding translations.
+    CpuMask residue = mm.residencyMask();
+    residue.forEach([&](CoreId core) {
+        if (config_.pcidEnabled)
+            sched_.tlbOf(core).invalidatePcid(mm.pcid());
+        else
+            sched_.tlbOf(core).flushAll();
+        mm.residencyMask().clear(core);
+    });
+
+    // Release every mapped frame.
+    std::vector<Vma> vmas;
+    vmas.reserve(mm.vmas().size());
+    for (const auto &kv : mm.vmas())
+        vmas.push_back(kv.second);
+    for (const Vma &vma : vmas) {
+        UnmapResult ur = mm.munmapRegion(vma.start, vma.end - vma.start);
+        for (const auto &page : ur.pages)
+            frames_.put(page.second);
+        for (const auto &page : ur.hugePages)
+            frames_.putHuge(page.second);
+    }
+}
+
+Duration
+Kernel::localInvalidate(CoreId core, AddressSpace &mm, Vpn s, Vpn e,
+                        std::uint64_t npages)
+{
+    Tlb &tlb = sched_.tlbOf(core);
+    if (npages >= config_.cost.fullFlushThreshold)
+        tlb.flushAll();
+    else
+        tlb.invalidateRange(s, e, mm.pcid());
+    return config_.cost.localInvalidateCost(npages);
+}
+
+SyscallResult
+Kernel::mmap(Task *task, std::uint64_t len, std::uint8_t prot,
+             bool file_backed)
+{
+    SyscallResult res;
+    if (len == 0)
+        return res;
+    AddressSpace &mm = task->mm();
+    const Tick now = queue_.now();
+    const Duration hold = config_.cost.mmapFixed;
+    const Tick at =
+        mm.mmapSem().acquireWrite(now + config_.cost.syscallFixed, hold);
+    res.addr = mm.mmapRegion(len, prot, file_backed);
+    res.ok = res.addr != kAddrInvalid;
+    res.latency = (at + hold) - now;
+    stats_.counter("sys.mmap").inc();
+    return res;
+}
+
+SyscallResult
+Kernel::mmapHuge(Task *task, std::uint64_t len, std::uint8_t prot)
+{
+    SyscallResult res;
+    if (len == 0)
+        return res;
+    AddressSpace &mm = task->mm();
+    const Tick now = queue_.now();
+    const Duration hold = config_.cost.mmapFixed;
+    const Tick at =
+        mm.mmapSem().acquireWrite(now + config_.cost.syscallFixed, hold);
+    res.addr = mm.mmapHugeRegion(len, prot);
+    res.ok = res.addr != kAddrInvalid;
+    res.latency = (at + hold) - now;
+    stats_.counter("sys.mmap_huge").inc();
+    return res;
+}
+
+SyscallResult
+Kernel::munmap(Task *task, Addr addr, std::uint64_t len, bool sync)
+{
+    SyscallResult res;
+    AddressSpace &mm = task->mm();
+    const CoreId core = task->core();
+    const Tick now = queue_.now();
+
+    UnmapResult ur = mm.munmapRegion(addr, len);
+    if (!ur.ok) {
+        res.latency = config_.cost.syscallFixed;
+        return res;
+    }
+    // A huge mapping clears one PMD entry, not 512 PTEs.
+    const std::uint64_t npages =
+        ur.pages.size() + ur.hugePages.size() * kHugePageSpan;
+    const std::uint64_t pte_clears =
+        ur.pages.size() + ur.hugePages.size();
+    const Vpn s = pageOf(pageAlignDown(addr));
+    const Vpn e = pageOf(pageAlignUp(addr + len)) - 1;
+
+    Duration base = config_.cost.vmaFixed +
+                    config_.cost.vmaPerPage * pte_clears +
+                    config_.cost.pteClearPerPage * pte_clears +
+                    config_.cost.vmaPerResidentCore *
+                        mm.residencyMask().count();
+    base += localInvalidate(core, mm, s, e, npages);
+
+    const Tick t0 = now + config_.cost.syscallFixed;
+    const Tick lock_at = mm.mmapSem().acquireWrite(t0, base);
+    const Tick shoot_at = lock_at + base;
+
+    FreeOpContext ctx;
+    ctx.mm = &mm;
+    ctx.initiator = core;
+    ctx.startVpn = s;
+    ctx.endVpn = e;
+    ctx.pages = std::move(ur.pages);
+    ctx.hugePages = std::move(ur.hugePages);
+    ctx.vaStart = pageAlignDown(addr);
+    ctx.vaEnd = pageAlignUp(addr + len);
+    ctx.syncRequested = sync;
+
+    // The policy consumes the per-page sharer info (ABIS) before it
+    // is forgotten.
+    std::vector<Vpn> unmapped;
+    unmapped.reserve(ctx.pages.size() + ctx.hugePages.size());
+    for (const auto &page : ctx.pages)
+        unmapped.push_back(page.first);
+    for (const auto &page : ctx.hugePages)
+        unmapped.push_back(page.first);
+    const Duration pol = policy_->onFreePages(std::move(ctx), shoot_at);
+    for (Vpn vpn : unmapped)
+        mm.clearSharers(vpn);
+    // Linux performs the shootdown under mmap_sem; LATR's 132 ns
+    // state save extends the hold negligibly.
+    mm.mmapSem().extendWrite(pol);
+
+    res.ok = true;
+    res.shootdown = pol;
+    res.latency = (shoot_at + pol) - now;
+    stats_.counter("sys.munmap").inc();
+    stats_.distribution("munmap.latency_ns")
+        .sample(static_cast<double>(res.latency));
+    stats_.distribution("munmap.shootdown_ns")
+        .sample(static_cast<double>(pol));
+    return res;
+}
+
+SyscallResult
+Kernel::madvise(Task *task, Addr addr, std::uint64_t len)
+{
+    SyscallResult res;
+    AddressSpace &mm = task->mm();
+    const CoreId core = task->core();
+    const Tick now = queue_.now();
+
+    UnmapResult ur = mm.madviseRegion(addr, len);
+    if (!ur.ok) {
+        res.latency = config_.cost.syscallFixed;
+        return res;
+    }
+    const std::uint64_t npages =
+        ur.pages.size() + ur.hugePages.size() * kHugePageSpan;
+    const std::uint64_t pte_clears =
+        ur.pages.size() + ur.hugePages.size();
+    const Vpn s = pageOf(pageAlignDown(addr));
+    const Vpn e = pageOf(pageAlignUp(addr + len)) - 1;
+
+    Duration base = config_.cost.vmaFixed +
+                    config_.cost.vmaPerPage * pte_clears +
+                    config_.cost.pteClearPerPage * pte_clears;
+    base += localInvalidate(core, mm, s, e, npages);
+
+    // MADV_DONTNEED runs under mmap_sem held for *read*.
+    const Tick t0 = now + config_.cost.syscallFixed;
+    const Tick lock_at = mm.mmapSem().acquireRead(t0, base);
+    const Tick shoot_at = lock_at + base;
+
+    FreeOpContext ctx;
+    ctx.mm = &mm;
+    ctx.initiator = core;
+    ctx.startVpn = s;
+    ctx.endVpn = e;
+    ctx.pages = std::move(ur.pages);
+    ctx.hugePages = std::move(ur.hugePages);
+    ctx.vaStart = 0; // VMA survives madvise; no VA to release
+    ctx.vaEnd = 0;
+
+    std::vector<Vpn> unmapped;
+    unmapped.reserve(ctx.pages.size() + ctx.hugePages.size());
+    for (const auto &page : ctx.pages)
+        unmapped.push_back(page.first);
+    for (const auto &page : ctx.hugePages)
+        unmapped.push_back(page.first);
+    const Duration pol = policy_->onFreePages(std::move(ctx), shoot_at);
+    for (Vpn vpn : unmapped)
+        mm.clearSharers(vpn);
+
+    res.ok = true;
+    res.shootdown = pol;
+    res.latency = (shoot_at + pol) - now;
+    stats_.counter("sys.madvise").inc();
+    return res;
+}
+
+SyscallResult
+Kernel::mprotect(Task *task, Addr addr, std::uint64_t len,
+                 std::uint8_t prot)
+{
+    SyscallResult res;
+    AddressSpace &mm = task->mm();
+    const CoreId core = task->core();
+    const Tick now = queue_.now();
+
+    UnmapResult ur = mm.mprotectRegion(addr, len, prot);
+    if (!ur.ok) {
+        res.latency = config_.cost.syscallFixed;
+        return res;
+    }
+    const std::uint64_t npages = ur.pages.size();
+    const Vpn s = pageOf(pageAlignDown(addr));
+    const Vpn e = pageOf(pageAlignUp(addr + len)) - 1;
+
+    Duration base = config_.cost.vmaFixed +
+                    config_.cost.vmaPerPage * ur.spanned +
+                    config_.cost.pteClearPerPage * npages;
+    base += localInvalidate(core, mm, s, e, npages);
+
+    const Tick t0 = now + config_.cost.syscallFixed;
+    const Tick lock_at = mm.mmapSem().acquireWrite(t0, base);
+    const Tick shoot_at = lock_at + base;
+
+    // Permission changes must be synchronous under every policy
+    // (table 1): stale writable entries are a correctness hazard.
+    const Duration pol =
+        policy_->onSyncShootdown(&mm, core, s, e, npages, shoot_at);
+    mm.mmapSem().extendWrite(pol);
+
+    res.ok = true;
+    res.shootdown = pol;
+    res.latency = (shoot_at + pol) - now;
+    stats_.counter("sys.mprotect").inc();
+    return res;
+}
+
+SyscallResult
+Kernel::mremap(Task *task, Addr old_addr, std::uint64_t old_len,
+               std::uint64_t new_len)
+{
+    SyscallResult res;
+    AddressSpace &mm = task->mm();
+    const CoreId core = task->core();
+    const Tick now = queue_.now();
+
+    UnmapResult moved;
+    const Addr new_addr =
+        mm.mremapRegion(old_addr, old_len, new_len, &moved);
+    if (new_addr == kAddrInvalid) {
+        res.latency = config_.cost.syscallFixed;
+        return res;
+    }
+    const std::uint64_t npages = moved.pages.size();
+    const Vpn s = pageOf(pageAlignDown(old_addr));
+    const Vpn e = pageOf(pageAlignUp(old_addr + old_len)) - 1;
+
+    Duration base = config_.cost.vmaFixed +
+                    config_.cost.vmaPerPage * moved.spanned +
+                    config_.cost.pteMapPerPage * npages;
+    base += localInvalidate(core, mm, s, e, npages);
+
+    const Tick t0 = now + config_.cost.syscallFixed;
+    const Tick lock_at = mm.mmapSem().acquireWrite(t0, base);
+    const Tick shoot_at = lock_at + base;
+
+    // Remap changes physical addresses of live translations —
+    // synchronous everywhere (table 1).
+    const Duration pol =
+        policy_->onSyncShootdown(&mm, core, s, e, npages, shoot_at);
+    mm.mmapSem().extendWrite(pol);
+
+    res.ok = true;
+    res.addr = new_addr;
+    res.shootdown = pol;
+    res.latency = (shoot_at + pol) - now;
+    stats_.counter("sys.mremap").inc();
+    return res;
+}
+
+SyscallResult
+Kernel::markCow(Task *task, Addr addr, std::uint64_t len)
+{
+    SyscallResult res;
+    AddressSpace &mm = task->mm();
+    const CoreId core = task->core();
+    const Tick now = queue_.now();
+
+    UnmapResult ur = mm.markCowRegion(addr, len);
+    if (!ur.ok) {
+        res.latency = config_.cost.syscallFixed;
+        return res;
+    }
+    const std::uint64_t npages = ur.pages.size();
+    const Vpn s = pageOf(pageAlignDown(addr));
+    const Vpn e = pageOf(pageAlignUp(addr + len)) - 1;
+
+    Duration base = config_.cost.vmaFixed +
+                    config_.cost.pteClearPerPage * npages;
+    base += localInvalidate(core, mm, s, e, npages);
+
+    const Tick t0 = now + config_.cost.syscallFixed;
+    const Tick lock_at = mm.mmapSem().acquireWrite(t0, base);
+    const Tick shoot_at = lock_at + base;
+
+    // Ownership changes are synchronous (table 1): every core must
+    // lose write access before sharing begins.
+    const Duration pol =
+        policy_->onSyncShootdown(&mm, core, s, e, npages, shoot_at);
+    mm.mmapSem().extendWrite(pol);
+
+    res.ok = true;
+    res.shootdown = pol;
+    res.latency = (shoot_at + pol) - now;
+    stats_.counter("sys.markcow").inc();
+    return res;
+}
+
+Duration
+Kernel::breakCow(Task *task, Vpn vpn)
+{
+    AddressSpace &mm = task->mm();
+    const CoreId core = task->core();
+    Pte *pte = mm.pageTable().find(vpn);
+    if (!pte || !pte->cow())
+        return 0;
+
+    Duration spent = 0;
+    const Pfn old = pte->pfn;
+    if (frames_.refcount(old) > 1) {
+        // Copy the page; the old frame stays with the other owner.
+        const Pfn fresh = frames_.alloc(topo_.nodeOf(core));
+        if (fresh == kPfnInvalid)
+            fatal("out of memory during CoW break");
+        spent += config_.cost.migrateCopyPerPage;
+        pte->pfn = fresh;
+        pte->flags |= kPteWrite;
+        pte->flags &= static_cast<std::uint8_t>(~kPteCow);
+        // Stale translations to the old frame must die before this
+        // mm continues writing — synchronous shootdown.
+        sched_.tlbOf(core).invalidatePage(vpn, mm.pcid());
+        spent += config_.cost.invlpg;
+        spent += policy_->onSyncShootdown(&mm, core, vpn, vpn, 1,
+                                          queue_.now() + spent);
+        frames_.put(old);
+    } else {
+        // Sole owner: upgrade in place.
+        pte->flags |= kPteWrite;
+        pte->flags &= static_cast<std::uint8_t>(~kPteCow);
+        sched_.tlbOf(core).invalidatePage(vpn, mm.pcid());
+        spent += config_.cost.invlpg;
+    }
+    stats_.counter("vm.cow_breaks").inc();
+    return spent;
+}
+
+TouchResult
+Kernel::touch(Task *task, Addr addr, bool is_write)
+{
+    AddressSpace &mm = task->mm();
+    const CoreId core = task->core();
+    const NodeId node = topo_.nodeOf(core);
+
+    TouchHooks hooks;
+    if (policy_ && policy_->minorFaultOverhead() > 0) {
+        const Duration extra = policy_->minorFaultOverhead();
+        hooks.onMinorFault = [extra](Vpn) { return extra; };
+    }
+    if (numaFaultHook_) {
+        hooks.onNumaHintFault = numaFaultHook_;
+    } else {
+        // Default NUMA-hint resolution: clear the hint, no migration.
+        hooks.onNumaHintFault = [&mm](Vpn vpn, CoreId) -> Duration {
+            Pte *pte = mm.pageTable().find(vpn);
+            if (pte)
+                pte->flags &=
+                    static_cast<std::uint8_t>(~kPteProtNone);
+            return 0;
+        };
+    }
+    hooks.onCowWrite = [this, task](Vpn vpn, CoreId) {
+        return breakCow(task, vpn);
+    };
+
+    TouchResult r = touchPage(core, node, mm, sched_.tlbOf(core),
+                              config_.cost, addr, is_write, hooks);
+    // Fault paths run under mmap_sem held for read: fault traffic
+    // delays munmap/mprotect writers and, symmetrically, a fault
+    // arriving during a held write section (Linux's shootdown!)
+    // stalls until the writer drains. This interaction is a large
+    // part of why Apache stops scaling under synchronous shootdowns.
+    if (r.kind == TouchKind::MinorFault ||
+        r.kind == TouchKind::NumaFault ||
+        r.kind == TouchKind::CowBreak) {
+        const Tick now = queue_.now();
+        // Only part of the fault runs under the lock (the VMA walk
+        // and PTE install; allocation and bookkeeping do not).
+        const Tick at =
+            mm.mmapSem().acquireRead(now, r.latency / 2);
+        r.latency += at - now;
+    }
+    switch (r.kind) {
+      case TouchKind::MinorFault:
+        stats_.counter("vm.minor_faults").inc();
+        break;
+      case TouchKind::NumaFault:
+        stats_.counter("vm.numa_faults").inc();
+        break;
+      case TouchKind::SegFault:
+        stats_.counter("vm.segfaults").inc();
+        break;
+      default:
+        break;
+    }
+    return r;
+}
+
+Duration
+Kernel::numaSample(Task *task, Vpn vpn)
+{
+    return policy_->onNumaSample(&task->mm(), task->core(), vpn,
+                                 queue_.now());
+}
+
+void
+Kernel::setNumaFaultHook(std::function<Duration(Vpn, CoreId)> hook)
+{
+    numaFaultHook_ = std::move(hook);
+}
+
+} // namespace latr

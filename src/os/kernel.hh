@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The kernel facade: the system-call layer workloads drive. Each
+ * call performs the real bookkeeping (VMAs, page tables, TLBs),
+ * models the cost and the mmap_sem reservation, and hands the
+ * coherence-sensitive tail of the operation — remote invalidation
+ * and page freeing — to the attached TlbCoherencePolicy, exactly at
+ * the hook points the paper's kernel patch modifies
+ * (native_flush_tlb_others, the munmap/madvise handlers, and
+ * change_prot_numa).
+ */
+
+#ifndef LATR_OS_KERNEL_HH_
+#define LATR_OS_KERNEL_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/frame_allocator.hh"
+#include "os/process.hh"
+#include "os/scheduler.hh"
+#include "os/task.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "tlbcoh/policy.hh"
+#include "topo/machine_config.hh"
+#include "topo/topology.hh"
+#include "vm/fault.hh"
+
+namespace latr
+{
+
+/** Result of a simulated system call. */
+struct SyscallResult
+{
+    /** Wall time the call occupied the calling core. */
+    Duration latency = 0;
+    /** Of which, time attributable to TLB coherence. */
+    Duration shootdown = 0;
+    /** mmap/mremap: resulting address. */
+    Addr addr = kAddrInvalid;
+    bool ok = false;
+};
+
+/** The simulated kernel. */
+class Kernel
+{
+  public:
+    Kernel(EventQueue &queue, const NumaTopology &topo,
+           const MachineConfig &config, FrameAllocator &frames,
+           Scheduler &sched, StatRegistry &stats);
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Attach the coherence policy (also wired into the scheduler). */
+    void setPolicy(TlbCoherencePolicy *policy);
+
+    TlbCoherencePolicy *policy() const { return policy_; }
+
+    /// @name Process / task lifecycle
+    /// @{
+
+    Process *createProcess(std::string name);
+
+    /** Create a task of @p process pinned to @p core and schedule it. */
+    Task *spawnTask(Process *process, CoreId core);
+
+    /** Unschedule and retire @p task. */
+    void exitTask(Task *task);
+
+    /**
+     * Tear down @p process: unschedule its tasks, flush its TLB
+     * residue, release every frame. Kernel-level teardown — no
+     * policy involvement, as at real process exit.
+     */
+    void exitProcess(Process *process);
+
+    /// @}
+
+    /// @name System calls
+    /// @{
+
+    SyscallResult mmap(Task *task, std::uint64_t len, std::uint8_t prot,
+                       bool file_backed = false);
+
+    /**
+     * Map @p len bytes (rounded to 2 MiB) backed by huge pages —
+     * the section 7 extension: faults populate 2 MiB at a time, and
+     * frees travel through the policies with the huge flag.
+     */
+    SyscallResult mmapHuge(Task *task, std::uint64_t len,
+                           std::uint8_t prot);
+
+    /**
+     * @param sync request synchronous semantics even under LATR
+     *        (the paper's section 7 opt-out flag).
+     */
+    SyscallResult munmap(Task *task, Addr addr, std::uint64_t len,
+                         bool sync = false);
+
+    /** madvise(MADV_DONTNEED / MADV_FREE). */
+    SyscallResult madvise(Task *task, Addr addr, std::uint64_t len);
+
+    SyscallResult mprotect(Task *task, Addr addr, std::uint64_t len,
+                           std::uint8_t prot);
+
+    SyscallResult mremap(Task *task, Addr old_addr,
+                         std::uint64_t old_len, std::uint64_t new_len);
+
+    /** Mark a range CoW (the ownership-change row of table 1). */
+    SyscallResult markCow(Task *task, Addr addr, std::uint64_t len);
+
+    /** One memory access, through TLB / page table / fault paths. */
+    TouchResult touch(Task *task, Addr addr, bool is_write);
+
+    /**
+     * AutoNUMA sampling entry point (called by the scan task):
+     * delegate the prot-none transition to the policy.
+     */
+    Duration numaSample(Task *task, Vpn vpn);
+
+    /// @}
+
+    /**
+     * Install the NUMA-hint fault handler (the AutoNUMA subsystem
+     * registers itself here).
+     */
+    void setNumaFaultHook(std::function<Duration(Vpn, CoreId)> hook);
+
+    StatRegistry &stats() { return stats_; }
+    const CostModel &cost() const { return config_.cost; }
+    const MachineConfig &config() const { return config_; }
+    const NumaTopology &topo() const { return topo_; }
+    EventQueue &queue() { return queue_; }
+    FrameAllocator &frames() { return frames_; }
+    Scheduler &scheduler() { return sched_; }
+    Tick now() const { return queue_.now(); }
+
+  private:
+    /** Invalidate [s,e] on the initiator's TLB, honoring batching. */
+    Duration localInvalidate(CoreId core, AddressSpace &mm, Vpn s,
+                             Vpn e, std::uint64_t npages);
+
+    /** CoW write-fault resolution (used via TouchHooks). */
+    Duration breakCow(Task *task, Vpn vpn);
+
+    EventQueue &queue_;
+    const NumaTopology &topo_;
+    const MachineConfig &config_;
+    FrameAllocator &frames_;
+    Scheduler &sched_;
+    StatRegistry &stats_;
+    TlbCoherencePolicy *policy_ = nullptr;
+
+    std::function<Duration(Vpn, CoreId)> numaFaultHook_;
+
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<std::unique_ptr<Task>> tasks_;
+    MmId nextMm_ = 1;
+    TaskId nextTask_ = 1;
+};
+
+} // namespace latr
+
+#endif // LATR_OS_KERNEL_HH_

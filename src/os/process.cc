@@ -1,0 +1,12 @@
+#include "os/process.hh"
+
+namespace latr
+{
+
+Process::Process(MmId id, Pcid pcid, FrameAllocator &frames,
+                 std::string name)
+    : id_(id), name_(std::move(name)), mm_(id, pcid, frames)
+{
+}
+
+} // namespace latr

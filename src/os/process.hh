@@ -1,0 +1,53 @@
+/**
+ * @file
+ * A simulated process: an AddressSpace plus the tasks sharing it.
+ */
+
+#ifndef LATR_OS_PROCESS_HH_
+#define LATR_OS_PROCESS_HH_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+#include "vm/address_space.hh"
+
+namespace latr
+{
+
+class Task;
+
+/** A simulated process. */
+class Process
+{
+  public:
+    /**
+     * @param id unique process id (also the mm id).
+     * @param pcid TLB tag (kPcidNone when PCIDs are off).
+     * @param frames physical allocator of the machine.
+     * @param name human-readable name.
+     */
+    Process(MmId id, Pcid pcid, FrameAllocator &frames,
+            std::string name);
+
+    Process(const Process &) = delete;
+    Process &operator=(const Process &) = delete;
+
+    MmId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    AddressSpace &mm() { return mm_; }
+
+    /** Tasks of this process (owned by the kernel, listed here). */
+    std::vector<Task *> &tasks() { return tasks_; }
+
+  private:
+    MmId id_;
+    std::string name_;
+    AddressSpace mm_;
+    std::vector<Task *> tasks_;
+};
+
+} // namespace latr
+
+#endif // LATR_OS_PROCESS_HH_

@@ -1,0 +1,19 @@
+#include "os/task.hh"
+
+#include "os/process.hh"
+
+namespace latr
+{
+
+Task::Task(TaskId id, Process *process, CoreId core)
+    : id_(id), process_(process), core_(core)
+{
+}
+
+AddressSpace &
+Task::mm() const
+{
+    return process_->mm();
+}
+
+} // namespace latr

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A simulated thread of execution. Tasks belong to a Process (whose
+ * AddressSpace they share) and are pinned to a core by the workload
+ * driver, matching the paper's benchmark methodology (all runs use
+ * physical cores only, no migration between cores).
+ */
+
+#ifndef LATR_OS_TASK_HH_
+#define LATR_OS_TASK_HH_
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+class AddressSpace;
+class Process;
+
+/** A simulated thread. */
+class Task
+{
+  public:
+    /**
+     * @param id unique task id.
+     * @param process owning process (outlives the task).
+     * @param core the core this task is pinned to.
+     */
+    Task(TaskId id, Process *process, CoreId core);
+
+    TaskId id() const { return id_; }
+    Process *process() const { return process_; }
+    CoreId core() const { return core_; }
+
+    /** Shared address space of the owning process. */
+    AddressSpace &mm() const;
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+  private:
+    TaskId id_;
+    Process *process_;
+    CoreId core_;
+    std::string name_;
+};
+
+} // namespace latr
+
+#endif // LATR_OS_TASK_HH_

@@ -1,0 +1,119 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+EventQueue::~EventQueue()
+{
+    // Delete any queue-owned lambda events that never ran. Only
+    // live events may be dereferenced; stale heap entries may point
+    // at storage their owner already reclaimed.
+    for (auto &kv : live_) {
+        if (!kv.second.second)
+            continue; // not queue-owned: must not be dereferenced
+        Event *ev = kv.second.first;
+        ev->scheduled_ = false;
+        delete ev;
+    }
+}
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    if (event->scheduled_)
+        panic("event '%s' scheduled twice", event->name());
+    if (when < now_)
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              event->name(), static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    event->scheduled_ = true;
+    event->when_ = when;
+    event->seq_ = nextSeq_++;
+    heap_.push(Entry{when, event->seq_, event});
+    live_.emplace(event->seq_, std::make_pair(event, event->autoDelete_));
+}
+
+void
+EventQueue::reschedule(Event *event, Tick when)
+{
+    if (event->scheduled_)
+        deschedule(event);
+    schedule(event, when);
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    if (!event->scheduled_)
+        return;
+    // Lazy deletion: the heap entry stays; it is skipped when popped
+    // because its sequence number is no longer live.
+    event->scheduled_ = false;
+    live_.erase(event->seq_);
+}
+
+void
+EventQueue::scheduleLambda(Tick when, std::function<void()> fn)
+{
+    auto *ev = new LambdaEvent(std::move(fn));
+    ev->autoDelete_ = true;
+    schedule(ev, when);
+}
+
+void
+EventQueue::popStale()
+{
+    while (!heap_.empty()) {
+        if (live_.count(heap_.top().seq))
+            return;
+        heap_.pop();
+    }
+}
+
+void
+EventQueue::dispatchTop()
+{
+    Entry top = heap_.top();
+    heap_.pop();
+    Event *ev = top.event;
+    ev->scheduled_ = false;
+    live_.erase(top.seq);
+    now_ = top.when;
+    ev->process();
+    if (ev->autoDelete_)
+        delete ev;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    for (;;) {
+        popStale();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit) {
+            now_ = limit;
+            break;
+        }
+        dispatchTop();
+        ++executed;
+    }
+    if (limit != kTickNever && now_ < limit)
+        now_ = limit;
+    return executed;
+}
+
+bool
+EventQueue::step()
+{
+    popStale();
+    if (heap_.empty())
+        return false;
+    dispatchTop();
+    return true;
+}
+
+} // namespace latr

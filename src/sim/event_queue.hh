@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The discrete-event kernel. All asynchronous activity in the
+ * simulated machine — IPI deliveries, scheduler ticks, background
+ * reclamation, workload steps — is an Event scheduled on the single
+ * global EventQueue and executed in nondecreasing tick order. Events
+ * scheduled for the same tick run in FIFO order of scheduling, which
+ * keeps the simulation deterministic.
+ */
+
+#ifndef LATR_SIM_EVENT_QUEUE_HH_
+#define LATR_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+class EventQueue;
+
+/**
+ * A schedulable unit of work. Subclass and implement process(), or use
+ * scheduleLambda() for one-off callbacks. Events do not own
+ * themselves; the creator controls lifetime, except for lambda events
+ * which the queue deletes after they run.
+ */
+class Event
+{
+  public:
+    virtual ~Event() = default;
+
+    /** Execute the event; called by the queue at the scheduled tick. */
+    virtual void process() = 0;
+
+    /** Human-readable name for tracing. */
+    virtual const char *name() const { return "event"; }
+
+    /** True while the event sits in a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick this event is scheduled for (valid while scheduled). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    bool scheduled_ = false;
+    bool autoDelete_ = false;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+/**
+ * The global event queue: a priority queue ordered by (tick, sequence
+ * number). Drives simulated time; now() only advances when events run.
+ * deschedule() uses lazy deletion: stale heap entries are skipped when
+ * they surface.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue();
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p event at absolute tick @p when. Scheduling in the
+     * past (before now()) or double-scheduling is a simulator bug.
+     */
+    void schedule(Event *event, Tick when);
+
+    /**
+     * Reschedule @p event to @p when, whether or not it is currently
+     * scheduled.
+     */
+    void reschedule(Event *event, Tick when);
+
+    /** Remove @p event from the queue; no-op if not scheduled. */
+    void deschedule(Event *event);
+
+    /**
+     * Schedule a one-off callback at @p when. The queue owns the
+     * wrapper and deletes it after it runs (or at destruction).
+     */
+    void scheduleLambda(Tick when, std::function<void()> fn);
+
+    /** Number of live (non-stale) events currently scheduled. */
+    std::size_t pending() const { return live_.size(); }
+
+    /** True when no live events remain. */
+    bool empty() const { return live_.empty(); }
+
+    /**
+     * Run events until the queue empties or the next event lies
+     * beyond @p limit. When the run stops because of @p limit, now()
+     * is advanced to @p limit.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = kTickNever);
+
+    /** Execute exactly one event if any is pending. @return true if so. */
+    bool step();
+
+  private:
+    /** A lambda-wrapping event owned (and deleted) by the queue. */
+    class LambdaEvent : public Event
+    {
+      public:
+        explicit LambdaEvent(std::function<void()> fn)
+            : fn_(std::move(fn))
+        {}
+
+        void process() override { fn_(); }
+        const char *name() const override { return "lambda"; }
+
+      private:
+        std::function<void()> fn_;
+    };
+
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Event *event;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop heap entries whose event was descheduled or rescheduled. */
+    void popStale();
+
+    /** Run the event at the top of the heap (caller checked liveness). */
+    void dispatchTop();
+
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    /**
+     * Live scheduled events keyed by sequence number, with the
+     * auto-delete flag captured at schedule time. Stale heap entries
+     * (descheduled/rescheduled events) are detected by seq lookup
+     * here, never by dereferencing the event pointer — an owner may
+     * destroy a descheduled event at any time, and the destructor
+     * dereferences only queue-owned (auto-delete) events, since an
+     * owner may even destroy a still-scheduled event right before
+     * the queue itself dies.
+     */
+    std::unordered_map<std::uint64_t, std::pair<Event *, bool>> live_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+} // namespace latr
+
+#endif // LATR_SIM_EVENT_QUEUE_HH_

@@ -1,0 +1,100 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBounded called with bound 0");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange with lo > hi");
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u = nextDouble();
+    // Avoid log(0); nextDouble() is in [0, 1).
+    return -mean * std::log1p(-u);
+}
+
+} // namespace latr

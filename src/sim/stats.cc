@@ -1,0 +1,157 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+Distribution::Distribution(std::size_t max_samples)
+    : maxSamples_(max_samples), rngState_(0x5157af1dULL)
+{
+    reservoir_.reserve(std::min<std::size_t>(max_samples, 4096));
+}
+
+void
+Distribution::sample(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+
+    // Algorithm R reservoir sampling keeps percentile queries exact
+    // for short streams and statistically sound for long ones.
+    ++seen_;
+    if (reservoir_.size() < maxSamples_) {
+        reservoir_.push_back(value);
+        sorted_ = false;
+    } else {
+        rngState_ = rngState_ * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::uint64_t slot = (rngState_ >> 16) % seen_;
+        if (slot < maxSamples_) {
+            reservoir_[slot] = value;
+            sorted_ = false;
+        }
+    }
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    reservoir_.clear();
+    sorted_ = true;
+    seen_ = 0;
+}
+
+double
+Distribution::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Distribution::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::percentile(double q) const
+{
+    if (reservoir_.empty())
+        return 0.0;
+    if (q < 0.0 || q > 1.0)
+        panic("percentile quantile %f out of [0, 1]", q);
+    if (!sorted_) {
+        std::sort(reservoir_.begin(), reservoir_.end());
+        sorted_ = true;
+    }
+    double pos = q * static_cast<double>(reservoir_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, reservoir_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return reservoir_[lo] * (1.0 - frac) + reservoir_[hi] * frac;
+}
+
+double
+ratePerSecond(std::uint64_t events, std::uint64_t elapsed_ns)
+{
+    if (elapsed_ns == 0)
+        return 0.0;
+    return static_cast<double>(events) * 1e9 /
+           static_cast<double>(elapsed_ns);
+}
+
+Counter &
+StatRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Distribution &
+StatRegistry::distribution(const std::string &name)
+{
+    auto it = distributions_.find(name);
+    if (it == distributions_.end())
+        it = distributions_.emplace(name, Distribution()).first;
+    return it->second;
+}
+
+bool
+StatRegistry::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : distributions_)
+        kv.second.reset();
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : distributions_) {
+        const Distribution &d = kv.second;
+        os << kv.first << " count=" << d.count() << " mean=" << d.mean()
+           << " min=" << d.min() << " max=" << d.max()
+           << " p50=" << d.percentile(0.5) << " p99=" << d.percentile(0.99)
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace latr

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every module: simulated time,
+ * addresses, page/frame numbers, core identifiers, and the x86-ish
+ * constants (page size, canonical address width) the whole simulator
+ * agrees on.
+ */
+
+#ifndef LATR_SIM_TYPES_HH_
+#define LATR_SIM_TYPES_HH_
+
+#include <cstdint>
+#include <limits>
+
+namespace latr
+{
+
+/** Simulated time in nanoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** A simulated time interval in nanoseconds. */
+using Duration = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick kTickNever = std::numeric_limits<Tick>::max();
+
+/** @name Time literals (all converted to nanoseconds). */
+/// @{
+constexpr Duration kNsec = 1;
+constexpr Duration kUsec = 1000 * kNsec;
+constexpr Duration kMsec = 1000 * kUsec;
+constexpr Duration kSec = 1000 * kMsec;
+/// @}
+
+/** A virtual address in a simulated process address space. */
+using Addr = std::uint64_t;
+
+/** A virtual page number (virtual address >> page shift). */
+using Vpn = std::uint64_t;
+
+/** A physical frame number. */
+using Pfn = std::uint64_t;
+
+/** Sentinel for "no frame". */
+constexpr Pfn kPfnInvalid = std::numeric_limits<Pfn>::max();
+
+/** Identifies a core, 0-based, dense across sockets. */
+using CoreId = std::uint32_t;
+
+/** Identifies a NUMA node (socket). */
+using NodeId = std::uint32_t;
+
+/** Identifies a process address space (the simulated mm_struct). */
+using MmId = std::uint64_t;
+
+/** Identifies a task (simulated thread). */
+using TaskId = std::uint64_t;
+
+/** x86 process-context identifier tagging TLB entries. */
+using Pcid = std::uint16_t;
+
+/** PCID used when PCIDs are disabled (all entries share it). */
+constexpr Pcid kPcidNone = 0;
+
+/** Base-2 log of the simulated page size (4 KiB pages). */
+constexpr unsigned kPageShift = 12;
+
+/** Simulated page size in bytes. */
+constexpr std::uint64_t kPageSize = 1ULL << kPageShift;
+
+/** Base pages per 2 MiB huge page (x86 PMD mapping). */
+constexpr std::uint64_t kHugePageSpan = 512;
+
+/** Huge page size in bytes (2 MiB). */
+constexpr std::uint64_t kHugePageSize = kPageSize * kHugePageSpan;
+
+/** Round a VPN down to the base VPN of its 2 MiB region. */
+constexpr Vpn
+hugeBaseOf(Vpn vpn)
+{
+    return vpn & ~(kHugePageSpan - 1);
+}
+
+/** Number of meaningful virtual-address bits (x86-64 canonical). */
+constexpr unsigned kVaBits = 48;
+
+/** Exclusive upper bound of the usable user virtual address space. */
+constexpr Addr kUserVaLimit = 1ULL << (kVaBits - 1);
+
+/** Convert a virtual address to its page number. */
+constexpr Vpn
+pageOf(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** Convert a page number back to the base address of the page. */
+constexpr Addr
+addrOf(Vpn vpn)
+{
+    return vpn << kPageShift;
+}
+
+/** Round an address down to its page base. */
+constexpr Addr
+pageAlignDown(Addr addr)
+{
+    return addr & ~(kPageSize - 1);
+}
+
+/** Round an address up to the next page boundary. */
+constexpr Addr
+pageAlignUp(Addr addr)
+{
+    return (addr + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+/** Number of pages covered by [addr, addr + len) after page rounding. */
+constexpr std::uint64_t
+pagesSpanned(Addr addr, std::uint64_t len)
+{
+    if (len == 0)
+        return 0;
+    return (pageAlignUp(addr + len) - pageAlignDown(addr)) >> kPageShift;
+}
+
+/**
+ * A set of cores, the simulated analogue of Linux's cpumask. Supports
+ * up to 128 cores, enough for the paper's 120-core machine.
+ */
+class CpuMask
+{
+  public:
+    static constexpr unsigned kMaxCores = 128;
+
+    CpuMask() = default;
+
+    /** Mask with the single core @p core set. */
+    static CpuMask
+    single(CoreId core)
+    {
+        CpuMask m;
+        m.set(core);
+        return m;
+    }
+
+    /** Mask with cores [0, n) set. */
+    static CpuMask
+    firstN(unsigned n)
+    {
+        CpuMask m;
+        for (unsigned i = 0; i < n; ++i)
+            m.set(i);
+        return m;
+    }
+
+    void
+    set(CoreId core)
+    {
+        bits_[word(core)] |= bit(core);
+    }
+
+    void
+    clear(CoreId core)
+    {
+        bits_[word(core)] &= ~bit(core);
+    }
+
+    bool
+    test(CoreId core) const
+    {
+        return (bits_[word(core)] & bit(core)) != 0;
+    }
+
+    bool
+    empty() const
+    {
+        return bits_[0] == 0 && bits_[1] == 0;
+    }
+
+    /** Number of cores in the mask. */
+    unsigned
+    count() const
+    {
+        return __builtin_popcountll(bits_[0]) +
+               __builtin_popcountll(bits_[1]);
+    }
+
+    void
+    orWith(const CpuMask &other)
+    {
+        bits_[0] |= other.bits_[0];
+        bits_[1] |= other.bits_[1];
+    }
+
+    void
+    andWith(const CpuMask &other)
+    {
+        bits_[0] &= other.bits_[0];
+        bits_[1] &= other.bits_[1];
+    }
+
+    void
+    reset()
+    {
+        bits_[0] = 0;
+        bits_[1] = 0;
+    }
+
+    bool
+    operator==(const CpuMask &other) const
+    {
+        return bits_[0] == other.bits_[0] && bits_[1] == other.bits_[1];
+    }
+
+    /**
+     * Invoke @p fn for every core in the mask, lowest id first.
+     * @param fn callable taking a CoreId.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (unsigned w = 0; w < 2; ++w) {
+            std::uint64_t v = bits_[w];
+            while (v) {
+                unsigned b = __builtin_ctzll(v);
+                fn(static_cast<CoreId>(w * 64 + b));
+                v &= v - 1;
+            }
+        }
+    }
+
+  private:
+    static unsigned word(CoreId core) { return core >> 6; }
+    static std::uint64_t bit(CoreId core) { return 1ULL << (core & 63); }
+
+    std::uint64_t bits_[2] = {0, 0};
+};
+
+} // namespace latr
+
+#endif // LATR_SIM_TYPES_HH_

@@ -1,0 +1,392 @@
+#include "tlbcoh/latr_policy.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+LatrPolicy::LatrPolicy(PolicyEnv env)
+    : TlbCoherencePolicy(std::move(env))
+{
+    rings_.resize(env_.cores->coreCount());
+    for (auto &ring : rings_)
+        ring.resize(env_.config->latrStatesPerCore);
+}
+
+PolicyCapabilities
+LatrPolicy::capabilities() const
+{
+    PolicyCapabilities caps;
+    caps.asynchronous = true;
+    caps.nonIpiBased = true;
+    caps.noRemoteCoreInvolvement = true;
+    caps.noHardwareChanges = true;
+    caps.lazyFreeCapable = true;
+    caps.lazyMigrationCapable = true;
+    return caps;
+}
+
+LatrState *
+LatrPolicy::allocSlot(CoreId core)
+{
+    for (auto &state : rings_[core])
+        if (state.phase == LatrStatePhase::Empty)
+            return &state;
+    return nullptr;
+}
+
+const std::vector<LatrState> &
+LatrPolicy::ringOf(CoreId core) const
+{
+    return rings_.at(core);
+}
+
+std::uint64_t
+LatrPolicy::lazyBytes() const
+{
+    std::uint64_t pages = 0;
+    for (const LatrState *s : active_)
+        pages += s->pages.size() + s->hugePages.size() * kHugePageSpan;
+    for (const LatrState *s : pending_)
+        pages += s->pages.size() + s->hugePages.size() * kHugePageSpan;
+    return pages * kPageSize;
+}
+
+Duration
+LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
+{
+    env_.stats->counter("coh.shootdowns").inc();
+
+    // The paper's section 7 override: callers that need immediate
+    // reuse semantics (use-after-free detectors) get the IPI path.
+    LatrState *slot =
+        ctx.syncRequested ? nullptr : allocSlot(ctx.initiator);
+
+    if (!slot) {
+        // Ring full (or sync requested): fall back to IPIs
+        // (section 8), behaving exactly like the Linux baseline.
+        if (!ctx.syncRequested)
+            env_.stats->counter("latr.fallback_ipis").inc();
+        CpuMask targets = remoteTargets(ctx.mm, ctx.initiator);
+        const std::uint64_t npages =
+            ctx.pages.size() + ctx.hugePages.size() * kHugePageSpan;
+        Duration wait = 0;
+        if (!targets.empty() && npages > 0) {
+            wait = ipiShootdown(ctx.mm, ctx.initiator, targets,
+                                ctx.startVpn, ctx.endVpn, npages,
+                                start);
+        }
+        if (!ctx.pages.empty() || !ctx.hugePages.empty()) {
+            AddressSpace *mm = ctx.mm;
+            auto pages = std::move(ctx.pages);
+            auto huge = std::move(ctx.hugePages);
+            env_.queue->scheduleLambda(
+                start + wait, [mm, pages, huge]() {
+                    for (const auto &page : pages)
+                        mm->frames().put(page.second);
+                    for (const auto &page : huge)
+                        mm->frames().putHuge(page.second);
+                });
+        }
+        return wait;
+    }
+
+    // Save the LATR state: one ring entry written with ordinary
+    // stores — no IPI, no wait (figure 2b).
+    slot->phase = LatrStatePhase::Active;
+    slot->kind = LatrStateKind::Free;
+    slot->mm = ctx.mm;
+    slot->startVpn = ctx.startVpn;
+    slot->endVpn = ctx.endVpn;
+    slot->cpuMask = remoteTargets(ctx.mm, ctx.initiator);
+    slot->savedAt = start;
+    slot->owner = ctx.initiator;
+    slot->pteCleared = true; // free ops clear PTEs synchronously
+    slot->pages = std::move(ctx.pages);
+    slot->hugePages = std::move(ctx.hugePages);
+    slot->vaStart = ctx.vaStart;
+    slot->vaEnd = ctx.vaEnd;
+
+    // Park the virtual range so mmap() cannot hand it out before
+    // the TLB entries are gone (the reuse invariant, section 4.2).
+    if (slot->vaEnd > slot->vaStart)
+        ctx.mm->holdbackRange(slot->vaStart, slot->vaEnd);
+
+    env_.stats->counter("latr.states_saved").inc();
+
+    if (slot->cpuMask.empty()) {
+        // No remote core can hold an entry; skip straight to the
+        // aging stage.
+        deactivate(slot, start);
+    } else {
+        active_.push_back(slot);
+    }
+    scheduleReclaimPass(slot->savedAt + cost().latrReclaimDelay + 1);
+
+    return cost().latrStateSave;
+}
+
+Duration
+LatrPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
+                         Tick start)
+{
+    Pte *pte = mm->pageTable().find(vpn);
+    if (!pte)
+        return 0; // raced with an unmap
+
+    LatrState *slot = allocSlot(initiator);
+    if (!slot) {
+        // Ring full: sample the Linux way.
+        env_.stats->counter("latr.fallback_ipis").inc();
+        pte->flags |= kPteProtNone;
+        Duration local = cost().pteClearPerPage + cost().invlpg;
+        env_.cores->tlbOf(initiator).invalidatePage(vpn, mm->pcid());
+        CpuMask targets = remoteTargets(mm, initiator);
+        return local + ipiShootdown(mm, initiator, targets, vpn, vpn,
+                                    1, start + local);
+    }
+
+    env_.stats->counter("coh.shootdowns").inc();
+    env_.stats->counter("numa.samples").inc();
+    env_.stats->counter("latr.states_saved").inc();
+
+    slot->phase = LatrStatePhase::Active;
+    slot->kind = LatrStateKind::Migration;
+    slot->mm = mm;
+    slot->startVpn = vpn;
+    slot->endVpn = vpn;
+    // Migration states include every resident core — the initiator
+    // too, since the sampling daemon did not invalidate anything
+    // (figure 3b).
+    slot->cpuMask = mm->residencyMask();
+    slot->savedAt = start;
+    slot->owner = initiator;
+    slot->pteCleared = false;
+    slot->pages.clear();
+    slot->hugePages.clear();
+    slot->vaStart = 0;
+    slot->vaEnd = 0;
+
+    if (slot->cpuMask.empty()) {
+        // Nothing resident anywhere: clear the PTE immediately.
+        pte->flags |= kPteProtNone;
+        slot->phase = LatrStatePhase::Empty;
+    } else {
+        active_.push_back(slot);
+        // The migrating fault on this page is gated (via
+        // numaSampleReadyAt) until every core swept; each masked
+        // core sweeps at latest at its next tick, so
+        // start + tickInterval (+ slack) is a sound upper bound
+        // (section 4.4). Unrelated faults are NOT blocked — in
+        // Linux both the scan and the fault path hold mmap_sem for
+        // read, so they coexist.
+    }
+    return cost().latrStateSave;
+}
+
+Tick
+LatrPolicy::numaSampleReadyAt(AddressSpace *mm, Vpn vpn) const
+{
+    Tick ready = 0;
+    for (const LatrState *state : active_) {
+        if (state->phase != LatrStatePhase::Active)
+            continue;
+        if (state->kind != LatrStateKind::Migration)
+            continue;
+        if (state->mm != mm || state->startVpn != vpn)
+            continue;
+        ready = std::max(ready, state->savedAt + cost().tickInterval +
+                                    migrationBlockSlack());
+    }
+    return ready;
+}
+
+void
+LatrPolicy::sweep(CoreId core, Tick now)
+{
+    env_.stats->counter("latr.sweeps").inc();
+
+    Duration spent = cost().latrSweepFixed;
+    unsigned matches = 0;
+    Tlb &tlb = env_.cores->tlbOf(core);
+
+    for (LatrState *state : active_) {
+        if (state->phase != LatrStatePhase::Active)
+            continue;
+        if (!state->cpuMask.test(core))
+            continue;
+        ++matches;
+
+        if (state->kind == LatrStateKind::Migration &&
+            !state->pteCleared) {
+            // First sweeping core performs the deferred page-table
+            // unmap (figure 3b's "Clear PTE").
+            Pte *pte = state->mm->pageTable().find(state->startVpn);
+            if (pte)
+                pte->flags |= kPteProtNone;
+            state->pteCleared = true;
+            spent += cost().pteClearPerPage;
+        }
+
+        const std::uint64_t npages = state->endVpn - state->startVpn + 1;
+        if (npages >= cost().fullFlushThreshold) {
+            tlb.flushAll();
+            // A fully flushed core holds nothing of this mm anymore;
+            // keep the residency mask honest (as the IPI path does).
+            if (tlb.size() == 0)
+                state->mm->residencyMask().clear(core);
+        } else {
+            tlb.invalidateRange(state->startVpn, state->endVpn,
+                                state->mm->pcid());
+        }
+        spent += cost().localInvalidateCost(npages);
+
+        state->cpuMask.clear(core);
+        if (state->cpuMask.empty())
+            deactivate(state, now);
+    }
+
+    // Compact: deactivated states left the Active phase.
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [](LatrState *s) {
+                                     return s->phase !=
+                                            LatrStatePhase::Active;
+                                 }),
+                  active_.end());
+
+    spent += matches * cost().latrSweepPerMatch;
+    env_.stats->counter("latr.sweep_matches").inc(matches);
+    env_.cores->chargeStolen(core, spent);
+
+    // The sweep reads every core's state block through the cache
+    // hierarchy; the footprint is tiny and hot (table 4's point).
+    // With the section 7 scratchpad, the states bypass the LLC
+    // entirely.
+    const NodeId node = env_.topo->nodeOf(core);
+    if (!env_.config->latrScratchpad && node < env_.llcs.size() &&
+        env_.llcs[node]) {
+        const std::uint64_t base = 0xE000'0000'0000ULL;
+        for (unsigned i = 0; i <= matches; ++i)
+            env_.llcs[node]->access(base + i,
+                                    CacheAccessOrigin::LatrSweep);
+    }
+}
+
+void
+LatrPolicy::deactivate(LatrState *state, Tick now)
+{
+    if (state->kind == LatrStateKind::Migration) {
+        // Nothing to reclaim; the gating bound set at save time
+        // already covers this tick. The slot is immediately
+        // reusable.
+        state->phase = LatrStatePhase::Empty;
+        env_.stats->counter("latr.migration_unmaps_completed").inc();
+        return;
+    }
+    state->phase = LatrStatePhase::PendingReclaim;
+    pending_.push_back(state);
+    // A pass is already scheduled for savedAt + delay; if this
+    // deactivation happened later than that (a core swept very
+    // late), make sure another pass covers it.
+    scheduleReclaimPass(std::max(now, state->savedAt +
+                                          cost().latrReclaimDelay) +
+                        1);
+}
+
+void
+LatrPolicy::scheduleReclaimPass(Tick eligible_at)
+{
+    if (eligible_at < env_.queue->now())
+        eligible_at = env_.queue->now();
+    env_.queue->scheduleLambda(eligible_at,
+                               [this, eligible_at]() {
+                                   reclaimPass(eligible_at);
+                               });
+}
+
+void
+LatrPolicy::reclaimState(LatrState *state)
+{
+    // Free the frames, release the virtual range, charge the
+    // background thread's work to the ring owner.
+    Duration spent = 0;
+    for (const auto &page : state->pages) {
+        state->mm->frames().put(page.second);
+        spent += cost().latrReclaimPerPage;
+    }
+    for (const auto &page : state->hugePages) {
+        state->mm->frames().putHuge(page.second);
+        spent += cost().latrReclaimPerPage;
+    }
+    env_.stats->counter("latr.reclaimed_pages")
+        .inc(state->pages.size() +
+             state->hugePages.size() * kHugePageSpan);
+    if (state->vaEnd > state->vaStart)
+        state->mm->releaseHoldback(state->vaStart, state->vaEnd);
+    env_.cores->chargeStolen(state->owner, spent);
+    state->pages.clear();
+    state->hugePages.clear();
+    state->mm = nullptr;
+    state->phase = LatrStatePhase::Empty;
+}
+
+void
+LatrPolicy::reclaimPass(Tick now)
+{
+    std::vector<LatrState *> keep;
+    keep.reserve(pending_.size());
+    for (LatrState *state : pending_) {
+        if (now < state->savedAt + cost().latrReclaimDelay) {
+            keep.push_back(state);
+            continue;
+        }
+        // Eligible: every TLB entry died (the state deactivated) and
+        // at least the aging window passed since the save.
+        reclaimState(state);
+    }
+    pending_.swap(keep);
+
+    if (env_.config->latrTimeOnlyReclaim) {
+        // The paper's pure time-bound reclamation: age alone makes a
+        // state eligible. Sound if (and only if) the delay covers
+        // every core's sweep — which is exactly what
+        // bench_ablation_reclaim demonstrates.
+        bool any = false;
+        for (LatrState *state : active_) {
+            if (state->phase != LatrStatePhase::Active)
+                continue;
+            if (state->kind != LatrStateKind::Free)
+                continue;
+            if (now < state->savedAt + cost().latrReclaimDelay)
+                continue;
+            reclaimState(state);
+            any = true;
+        }
+        if (any) {
+            active_.erase(
+                std::remove_if(active_.begin(), active_.end(),
+                               [](LatrState *s) {
+                                   return s->phase !=
+                                          LatrStatePhase::Active;
+                               }),
+                active_.end());
+        }
+    }
+}
+
+void
+LatrPolicy::onSchedulerTick(CoreId core, Tick now)
+{
+    sweep(core, now);
+}
+
+void
+LatrPolicy::onContextSwitch(CoreId core, Tick now)
+{
+    if (env_.config->latrSweepAtContextSwitch)
+        sweep(core, now);
+}
+
+} // namespace latr

@@ -1,0 +1,152 @@
+#include "tlbcoh/policy.hh"
+
+#include "sim/logging.hh"
+#include "tlbcoh/abis_policy.hh"
+#include "tlbcoh/barrelfish_policy.hh"
+#include "tlbcoh/latr_policy.hh"
+#include "tlbcoh/linux_policy.hh"
+
+namespace latr
+{
+
+TlbCoherencePolicy::TlbCoherencePolicy(PolicyEnv env)
+    : env_(std::move(env))
+{
+    if (!env_.queue || !env_.topo || !env_.config || !env_.frames ||
+        !env_.ipi || !env_.cores || !env_.stats)
+        panic("PolicyEnv is missing a required service");
+}
+
+Tick
+TlbCoherencePolicy::numaSampleReadyAt(AddressSpace *, Vpn) const
+{
+    return 0;
+}
+
+void
+TlbCoherencePolicy::onSchedulerTick(CoreId, Tick)
+{
+}
+
+void
+TlbCoherencePolicy::onContextSwitch(CoreId, Tick)
+{
+}
+
+CpuMask
+TlbCoherencePolicy::remoteTargets(AddressSpace *mm,
+                                  CoreId initiator) const
+{
+    CpuMask targets = mm->residencyMask();
+    targets.clear(initiator);
+    return targets;
+}
+
+void
+TlbCoherencePolicy::polluteLlc(CoreId core)
+{
+    const NodeId node = env_.topo->nodeOf(core);
+    if (node >= env_.llcs.size() || env_.llcs[node] == nullptr)
+        return;
+    LlcCache *llc = env_.llcs[node];
+    // The interrupt handler's instruction/data footprint displaces
+    // some application lines. Most of the footprint (IDT path,
+    // handler code, per-core stack) recurs across interrupts and
+    // stays warm; a couple of lines (the flush target's PTE area,
+    // the ack line) are cold each time.
+    const unsigned lines = cost().ipiHandlerCacheLines;
+    const std::uint64_t base =
+        0xF000'0000'0000ULL + static_cast<std::uint64_t>(core) * 4096;
+    for (unsigned i = 0; i < lines; ++i)
+        llc->access(base + i, CacheAccessOrigin::Interrupt);
+    // The occasional line is genuinely cold (a PTE cache line of
+    // the flushed range that aged out, a fresh ack line); the vast
+    // majority of handler lines recur and stay warm, which is why
+    // the paper's table 4 differences are small.
+    if ((pollutionCursor_++ & 63) == 0)
+        llc->access(0xF800'0000'0000ULL + pollutionCursor_,
+                    CacheAccessOrigin::Interrupt);
+}
+
+Duration
+TlbCoherencePolicy::ipiShootdown(AddressSpace *mm, CoreId initiator,
+                                 const CpuMask &targets, Vpn start_vpn,
+                                 Vpn end_vpn, std::uint64_t npages,
+                                 Tick start)
+{
+    env_.stats->counter("coh.ipi_shootdowns").inc();
+
+    const Pcid pcid = mm->pcid();
+    const bool full_flush = npages >= cost().fullFlushThreshold;
+    const Duration handler_body = cost().localInvalidateCost(npages);
+
+    auto handler_cost = [handler_body](CoreId) { return handler_body; };
+
+    auto on_deliver = [this, mm, pcid, full_flush, start_vpn, end_vpn,
+                       handler_body](CoreId target, Tick) {
+        Tlb &tlb = env_.cores->tlbOf(target);
+        if (full_flush) {
+            tlb.flushAll();
+            // A fully flushed core holds nothing of any mm; at
+            // minimum it stops being resident for this one. (Other
+            // mms' masks are reconciled lazily by the scheduler.)
+            if (!env_.cores->tlbOf(target).size())
+                mm->residencyMask().clear(target);
+        } else {
+            tlb.invalidateRange(start_vpn, end_vpn, pcid);
+        }
+        env_.cores->chargeStolen(
+            target, cost().ipiHandlerFixed + handler_body);
+        polluteLlc(target);
+        env_.stats->counter("coh.remote_interrupts").inc();
+    };
+
+    IpiBroadcastResult r = env_.ipi->broadcast(
+        initiator, targets, start, handler_cost, on_deliver);
+    return r.allAcked - start;
+}
+
+Duration
+TlbCoherencePolicy::onSyncShootdown(AddressSpace *mm, CoreId initiator,
+                                    Vpn start_vpn, Vpn end_vpn,
+                                    std::uint64_t npages, Tick start)
+{
+    env_.stats->counter("coh.sync_ops").inc();
+    CpuMask targets = remoteTargets(mm, initiator);
+    return ipiShootdown(mm, initiator, targets, start_vpn, end_vpn,
+                        npages, start);
+}
+
+std::unique_ptr<TlbCoherencePolicy>
+makePolicy(PolicyKind kind, PolicyEnv env)
+{
+    switch (kind) {
+      case PolicyKind::LinuxSync:
+        return std::make_unique<LinuxPolicy>(std::move(env));
+      case PolicyKind::Latr:
+        return std::make_unique<LatrPolicy>(std::move(env));
+      case PolicyKind::Abis:
+        return std::make_unique<AbisPolicy>(std::move(env));
+      case PolicyKind::Barrelfish:
+        return std::make_unique<BarrelfishPolicy>(std::move(env));
+    }
+    panic("unknown policy kind");
+}
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::LinuxSync:
+        return "Linux";
+      case PolicyKind::Latr:
+        return "LATR";
+      case PolicyKind::Abis:
+        return "ABIS";
+      case PolicyKind::Barrelfish:
+        return "Barrelfish";
+    }
+    return "?";
+}
+
+} // namespace latr

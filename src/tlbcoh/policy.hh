@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The TLB-coherence policy interface — the axis of the paper. A
+ * policy owns everything that happens *after* the kernel has changed
+ * page-table entries and invalidated the initiating core's TLB:
+ * how remote cores learn about the change (IPIs, LATR states,
+ * messages), when their TLB entries die, and when freed pages become
+ * reusable. Four policies implement it:
+ *
+ *  - LinuxPolicy: synchronous IPI shootdown (the baseline);
+ *  - LatrPolicy: the paper's lazy mechanism;
+ *  - AbisPolicy: access-bit sharing tracking (state of the art);
+ *  - BarrelfishPolicy: synchronous message passing.
+ */
+
+#ifndef LATR_TLBCOH_POLICY_HH_
+#define LATR_TLBCOH_POLICY_HH_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hw/cache.hh"
+#include "hw/ipi.hh"
+#include "mem/frame_allocator.hh"
+#include "os/core_service.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "topo/machine_config.hh"
+#include "topo/topology.hh"
+#include "vm/address_space.hh"
+
+namespace latr
+{
+
+/** Selects a TLB-coherence policy implementation. */
+enum class PolicyKind
+{
+    LinuxSync,   ///< stock Linux 4.10: synchronous IPIs
+    Latr,        ///< the paper's lazy mechanism
+    Abis,        ///< access-bit tracking (Amit, ATC'17)
+    Barrelfish,  ///< message passing, still synchronous
+};
+
+/** Everything a policy may touch, bundled at construction. */
+struct PolicyEnv
+{
+    EventQueue *queue = nullptr;
+    const NumaTopology *topo = nullptr;
+    const MachineConfig *config = nullptr;
+    FrameAllocator *frames = nullptr;
+    IpiFabric *ipi = nullptr;
+    CoreService *cores = nullptr;
+    StatRegistry *stats = nullptr;
+    /** Per-socket LLCs for pollution modeling; may be empty. */
+    std::vector<LlcCache *> llcs;
+};
+
+/** A free operation (munmap / madvise) handed to the policy. */
+struct FreeOpContext
+{
+    AddressSpace *mm = nullptr;
+    CoreId initiator = 0;
+    /** Inclusive page range of the operation. */
+    Vpn startVpn = 0;
+    Vpn endVpn = 0;
+    /** Unmapped (vpn, frame) pairs whose frames the policy frees. */
+    std::vector<std::pair<Vpn, Pfn>> pages;
+    /**
+     * Unmapped 2 MiB mappings (base vpn, base frame), released with
+     * putHuge(). The LATR state covering them carries the paper's
+     * proposed huge flag (section 7) implicitly: its vpn range spans
+     * the whole region, so sweeps invalidate the huge TLB entries.
+     */
+    std::vector<std::pair<Vpn, Pfn>> hugePages;
+    /**
+     * Virtual range to return to the allocator once coherence is
+     * reached; vaEnd == 0 for madvise (the VMA stays).
+     */
+    Addr vaStart = 0;
+    Addr vaEnd = 0;
+    /**
+     * Caller demanded synchronous semantics (the per-call override
+     * the paper's section 7 proposes for use-after-free detectors).
+     */
+    bool syncRequested = false;
+};
+
+/** Static properties of a policy (rows of the paper's table 2). */
+struct PolicyCapabilities
+{
+    bool asynchronous = false;
+    bool nonIpiBased = false;
+    bool noRemoteCoreInvolvement = false;
+    bool noHardwareChanges = true; // every software policy here
+    bool lazyFreeCapable = false;
+    bool lazyMigrationCapable = false;
+};
+
+/**
+ * Base class of all TLB-coherence policies. Provides the shared
+ * synchronous-IPI machinery that LinuxPolicy uses directly and that
+ * every policy needs for operations that cannot be lazy (mprotect,
+ * mremap, CoW — table 1) or as a fallback.
+ */
+class TlbCoherencePolicy
+{
+  public:
+    explicit TlbCoherencePolicy(PolicyEnv env);
+
+    virtual ~TlbCoherencePolicy() = default;
+
+    TlbCoherencePolicy(const TlbCoherencePolicy &) = delete;
+    TlbCoherencePolicy &operator=(const TlbCoherencePolicy &) = delete;
+
+    virtual const char *name() const = 0;
+    virtual PolicyKind kind() const = 0;
+    virtual PolicyCapabilities capabilities() const = 0;
+
+    /**
+     * A free operation unmapped @p ctx.pages. PTEs are already
+     * cleared and the initiator's TLB already invalidated; the
+     * policy owns remote invalidation, frame release, and VA
+     * release.
+     *
+     * @param start tick the policy's work begins (lock-adjusted).
+     * @return time consumed on the initiating core beyond @p start.
+     */
+    virtual Duration onFreePages(FreeOpContext ctx, Tick start) = 0;
+
+    /**
+     * A page-table change that must be visible system-wide before
+     * the operation returns (mprotect / mremap / CoW). PTEs are
+     * already updated; nothing is freed here.
+     */
+    virtual Duration onSyncShootdown(AddressSpace *mm, CoreId initiator,
+                                     Vpn start_vpn, Vpn end_vpn,
+                                     std::uint64_t npages, Tick start);
+
+    /**
+     * AutoNUMA sampled @p vpn: make it prot-none and invalidate it
+     * everywhere. Lazy policies may defer the PTE change (paper
+     * section 4.3); they must block the mm's mmap_sem until every
+     * core has invalidated.
+     */
+    virtual Duration onNumaSample(AddressSpace *mm, CoreId initiator,
+                                  Vpn vpn, Tick start) = 0;
+
+    /**
+     * Earliest tick at which a NUMA-hint fault on @p vpn may proceed
+     * to migrate: lazy policies must hold the fault until every core
+     * has invalidated the sampled translation (paper section 4.4).
+     * Synchronous policies return 0 (no wait).
+     */
+    virtual Tick numaSampleReadyAt(AddressSpace *mm, Vpn vpn) const;
+
+    /** Scheduler tick on @p core (LATR sweeps here). */
+    virtual void onSchedulerTick(CoreId core, Tick now);
+
+    /** Context switch on @p core (LATR sweeps here too). */
+    virtual void onContextSwitch(CoreId core, Tick now);
+
+    /** Extra cost this policy adds to every minor fault (ABIS). */
+    virtual Duration minorFaultOverhead() const { return 0; }
+
+  protected:
+    /**
+     * The shared synchronous IPI shootdown: serialize ICR writes to
+     * every core in @p targets (minus the initiator), invalidate
+     * each target's TLB at interrupt delivery, charge handler time
+     * to targets, pollute their LLCs, and return when the last ACK
+     * lands.
+     *
+     * @return time from @p start until the last ACK.
+     */
+    Duration ipiShootdown(AddressSpace *mm, CoreId initiator,
+                          const CpuMask &targets, Vpn start_vpn,
+                          Vpn end_vpn, std::uint64_t npages, Tick start);
+
+    /** Remote targets for @p mm: cores whose TLBs may hold entries. */
+    CpuMask remoteTargets(AddressSpace *mm, CoreId initiator) const;
+
+    /** Pollute the LLC of @p core's socket with handler lines. */
+    void polluteLlc(CoreId core);
+
+    const CostModel &cost() const { return env_.config->cost; }
+
+    PolicyEnv env_;
+
+  private:
+    std::uint64_t pollutionCursor_ = 0;
+};
+
+/** Construct the policy selected by @p kind. */
+std::unique_ptr<TlbCoherencePolicy> makePolicy(PolicyKind kind,
+                                               PolicyEnv env);
+
+/** Human-readable policy name without constructing one. */
+const char *policyKindName(PolicyKind kind);
+
+} // namespace latr
+
+#endif // LATR_TLBCOH_POLICY_HH_

@@ -1,0 +1,37 @@
+#include "topo/cost_model.hh"
+
+namespace latr
+{
+
+CostModel
+commodityCostModel()
+{
+    CostModel cm;
+    // One cross-socket IPI lands in ~2.7 us (paper section 1):
+    // 1.5 us base + 1.2 us for the single QPI hop.
+    cm.ipiDeliveryBase = 1500;
+    cm.ipiDeliveryPerHop = 1200;
+    cm.ipiSendBase = 100;
+    cm.ipiSendPerHop = 90;
+    return cm;
+}
+
+CostModel
+largeNumaCostModel()
+{
+    CostModel cm;
+    // A two-hop IPI lands in ~6.6 us (paper section 1); ICR writes
+    // serialize more heavily on the E7 fabric, which is what pushes a
+    // 120-core shootdown to ~80 us (figure 7).
+    cm.ipiDeliveryBase = 1600;
+    cm.ipiDeliveryPerHop = 2500;
+    cm.ipiSendBase = 160;
+    cm.ipiSendPerHop = 290;
+    // Cross-socket cache-line transfers are slower on the bigger
+    // fabric as well.
+    cm.cachelinePerHop = 320;
+    cm.vmaPerResidentCore = 300;
+    return cm;
+}
+
+} // namespace latr

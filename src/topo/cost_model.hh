@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Every latency constant in the simulated machine, in nanoseconds.
+ * The values are calibrated against the measurements the paper
+ * reports rather than against any particular silicon:
+ *
+ *  - a single IPI costs 2.7 us on the 2-socket machine and 6.6 us on
+ *    the 8-socket machine (paper section 1);
+ *  - a full 16-core shootdown costs ~6 us, a 120-core shootdown
+ *    ~80 us (section 1, figure 7);
+ *  - saving a LATR state costs 132.3 ns, a state sweep 158.0 ns, and
+ *    a single Linux shootdown 1594.2 ns (table 5);
+ *  - Linux munmap() of one page on 16 cores costs ~8 us of which
+ *    71.6% is shootdown; LATR brings it to 2.4 us (figure 6).
+ */
+
+#ifndef LATR_TOPO_COST_MODEL_HH_
+#define LATR_TOPO_COST_MODEL_HH_
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/**
+ * Latency constants of a simulated machine. All fields are in
+ * nanoseconds of simulated time. Two presets exist (see
+ * MachineConfig): the interconnect-related fields differ between the
+ * 2-socket E5 and the 8-socket E7, everything else is shared.
+ */
+struct CostModel
+{
+    /// @name System calls and VM bookkeeping
+    /// @{
+    /** Syscall entry/exit. */
+    Duration syscallFixed = 150;
+    /** VMA lookup/split/merge per munmap/mmap/madvise call. */
+    Duration vmaFixed = 1750;
+    /** Extra VMA/rmap bookkeeping per page in the operation. */
+    Duration vmaPerPage = 60;
+    /**
+     * rmap/refcount cache-line bouncing per core the mm is resident
+     * on. Negligible on the 2-socket E5; on the 8-socket E7 this is
+     * what makes even the non-shootdown part of munmap() grow with
+     * core count (figure 7's Linux curve reaches ~120 us of which
+     * only ~82 us is shootdown — and LATR's curve reaches ~40 us
+     * despite paying no shootdown at all).
+     */
+    Duration vmaPerResidentCore = 0;
+    /** Clearing one PTE (incl. walking to it, dirtying the PT line). */
+    Duration pteClearPerPage = 170;
+    /** Installing one PTE. */
+    Duration pteMapPerPage = 240;
+    /** mmap() fixed cost beyond the syscall. */
+    Duration mmapFixed = 900;
+    /// @}
+
+    /// @name Memory access, TLB, and faults
+    /// @{
+    /** One cached load/store issued by a workload touch. */
+    Duration memAccess = 4;
+    /** L2 TLB hit penalty on an L1 TLB miss. */
+    Duration l2TlbHit = 7;
+    /** Page-table walk on a full TLB miss. */
+    Duration ptWalk = 60;
+    /** Minor page fault (trap, alloc, map, return). */
+    Duration minorFault = 1600;
+    /**
+     * Extra cost of a 2 MiB huge-page fault over a base fault
+     * (contiguous allocation + zeroing a whole region).
+     */
+    Duration hugeFaultExtra = 22 * kUsec;
+    /** INVLPG of one local TLB entry. */
+    Duration invlpg = 120;
+    /** Full local TLB flush (CR3 write). */
+    Duration tlbFullFlush = 600;
+    /** Extra LLC-miss penalty on a local access. */
+    Duration llcMissPenalty = 60;
+    /** Extra penalty when the miss is served from a remote node. */
+    Duration llcRemotePenaltyPerHop = 50;
+    /// @}
+
+    /// @name IPI fabric (differs per machine preset)
+    /// @{
+    /**
+     * Writing the APIC ICR for one destination. The APIC has no
+     * multicast, so the initiator serializes one write per target
+     * (the paper's reason shootdowns scale with core count).
+     */
+    Duration ipiSendBase = 150;
+    /** Additional ICR/send cost per interconnect hop to the target. */
+    Duration ipiSendPerHop = 100;
+    /** IPI flight time to a same-socket core. */
+    Duration ipiDeliveryBase = 1500;
+    /** Additional flight time per interconnect hop. */
+    Duration ipiDeliveryPerHop = 1200;
+    /** Remote interrupt entry/exit (before any TLB work). */
+    Duration ipiHandlerFixed = 500;
+    /** Cache lines the handler evicts from the victim's LLC. */
+    unsigned ipiHandlerCacheLines = 24;
+    /// @}
+
+    /// @name Cache-coherence transfers
+    /// @{
+    /** Transferring one cache line within a socket. */
+    Duration cachelineBase = 250;
+    /** Additional transfer cost per interconnect hop. */
+    Duration cachelinePerHop = 200;
+    /// @}
+
+    /// @name Scheduler
+    /// @{
+    /** Scheduler tick interval (1 ms in Linux x86). */
+    Duration tickInterval = 1 * kMsec;
+    /** Fixed work in every scheduler tick. */
+    Duration schedTickFixed = 300;
+    /** A context switch (excluding any TLB flush). */
+    Duration ctxSwitch = 1500;
+    /// @}
+
+    /// @name LATR mechanism (table 5 anchors)
+    /// @{
+    /** Saving one LATR state (132.3 ns in the paper). */
+    Duration latrStateSave = 132;
+    /** Fixed cost of one state sweep over all cores' rings. */
+    Duration latrSweepFixed = 120;
+    /** Additional sweep cost per state that matches this core. */
+    Duration latrSweepPerMatch = 38;
+    /** Background reclamation cost per lazily freed page. */
+    Duration latrReclaimPerPage = 150;
+    /** Interval of the background reclamation pass. */
+    Duration latrReclaimInterval = 1 * kMsec;
+    /**
+     * Age a state must reach before its pages are reclaimed: two
+     * tick periods, because ticks are unsynchronized across cores.
+     */
+    Duration latrReclaimDelay = 2 * kMsec;
+    /// @}
+
+    /// @name ABIS (access-bit tracking) overheads
+    /// @{
+    /**
+     * Extra work per page fault to maintain sharing info. Tracking
+     * needs access bits to stay meaningful, which costs extra TLB
+     * flushes and uncached PTE updates on the fault path ("the
+     * operations in ABIS to track page sharing introduce additional
+     * overheads", paper section 2.3).
+     */
+    Duration abisPerFault = 850;
+    /** Access-bit harvest per unmapped page at munmap time. */
+    Duration abisPerPageScan = 1150;
+    /// @}
+
+    /// @name Barrelfish-style message passing
+    /// @{
+    /** Writing one per-core message channel (a cache line). */
+    Duration bfSendPerTarget = 90;
+    /**
+     * Worst-case delay until a remote kernel polls its channel; the
+     * actual delay is drawn uniformly from [0, this].
+     */
+    Duration bfPollWindow = 2000;
+    /// @}
+
+    /// @name Page migration / AutoNUMA
+    /// @{
+    /** Fixed migration cost (fault handling, alloc on target node). */
+    Duration migrateBase = 60 * kUsec;
+    /** Copying one 4 KiB page across the interconnect. */
+    Duration migrateCopyPerPage = 2000;
+    /** Extra cost of a NUMA-hint (prot-none) fault over a plain one. */
+    Duration numaHintFaultExtra = 800;
+    /** AutoNUMA scan cost per PTE sampled. */
+    Duration numaScanPerPage = 150;
+    /// @}
+
+    /// @name TLB shootdown batching
+    /// @{
+    /**
+     * Above this many pages in one shootdown, both Linux and LATR
+     * flush the whole TLB instead of INVLPG-ing each page (half the
+     * 64-entry L1 D-TLB, as in Linux).
+     */
+    unsigned fullFlushThreshold = 33;
+    /// @}
+
+    /** IPI send cost toward a target @p hops sockets away. */
+    Duration
+    ipiSendCost(unsigned hops) const
+    {
+        return ipiSendBase + ipiSendPerHop * hops;
+    }
+
+    /** IPI flight time toward a target @p hops sockets away. */
+    Duration
+    ipiDeliveryCost(unsigned hops) const
+    {
+        return ipiDeliveryBase + ipiDeliveryPerHop * hops;
+    }
+
+    /** Cache-line transfer cost across @p hops sockets. */
+    Duration
+    cachelineCost(unsigned hops) const
+    {
+        return cachelineBase + cachelinePerHop * hops;
+    }
+
+    /** Local TLB-invalidation cost for @p pages pages. */
+    Duration
+    localInvalidateCost(std::uint64_t pages) const
+    {
+        if (pages >= fullFlushThreshold)
+            return tlbFullFlush;
+        return invlpg * pages;
+    }
+};
+
+/** Cost model tuned to the 2-socket, 16-core commodity machine. */
+CostModel commodityCostModel();
+
+/** Cost model tuned to the 8-socket, 120-core large NUMA machine. */
+CostModel largeNumaCostModel();
+
+} // namespace latr
+
+#endif // LATR_TOPO_COST_MODEL_HH_

@@ -1,0 +1,38 @@
+#include "topo/machine_config.hh"
+
+namespace latr
+{
+
+MachineConfig
+MachineConfig::commodity2S16C()
+{
+    MachineConfig cfg;
+    cfg.name = "commodity-2S16C (E5-2630 v3)";
+    cfg.sockets = 2;
+    cfg.coresPerSocket = 8;
+    cfg.framesPerNode = 256 * 1024; // scaled-down 1 GiB/node
+    cfg.l1TlbEntries = 64;
+    cfg.l2TlbEntries = 1024;
+    cfg.llcBytesPerSocket = 20ULL * 1024 * 1024;
+    cfg.llcWays = 20;
+    cfg.cost = commodityCostModel();
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::largeNuma8S120C()
+{
+    MachineConfig cfg;
+    cfg.name = "large-NUMA-8S120C (E7-8870 v2)";
+    cfg.sockets = 8;
+    cfg.coresPerSocket = 15;
+    cfg.framesPerNode = 256 * 1024;
+    cfg.l1TlbEntries = 64;
+    cfg.l2TlbEntries = 512;
+    cfg.llcBytesPerSocket = 30ULL * 1024 * 1024;
+    cfg.llcWays = 20;
+    cfg.cost = largeNumaCostModel();
+    return cfg;
+}
+
+} // namespace latr

@@ -1,0 +1,409 @@
+#include "vm/address_space.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+AddressSpace::AddressSpace(MmId id, Pcid pcid, FrameAllocator &frames)
+    : id_(id), pcid_(pcid), frames_(frames)
+{
+}
+
+AddressSpace::~AddressSpace() = default;
+
+const Vma *
+AddressSpace::findVma(Addr addr) const
+{
+    auto it = vmas_.upper_bound(addr);
+    if (it == vmas_.begin())
+        return nullptr;
+    --it;
+    return it->second.contains(addr) ? &it->second : nullptr;
+}
+
+Addr
+AddressSpace::findFreeRange(std::uint64_t len,
+                            std::uint64_t alignment) const
+{
+    // First-fit over the union of live VMAs and held-back ranges.
+    // Returns the greatest conflicting end overlapping [lo, lo+len),
+    // or 0 when the window is free.
+    auto conflict_end = [&](Addr lo, Addr hi) -> Addr {
+        Addr worst = 0;
+        // VMAs: the only candidates are the one starting before hi
+        // closest to it and any starting within [lo, hi).
+        auto it = vmas_.upper_bound(hi - 1);
+        while (it != vmas_.begin()) {
+            --it;
+            if (it->second.end <= lo)
+                break;
+            if (it->second.overlaps(lo, hi))
+                worst = std::max(worst, it->second.end);
+        }
+        auto hit = holdback_.upper_bound(hi - 1);
+        while (hit != holdback_.begin()) {
+            --hit;
+            if (hit->second <= lo)
+                break;
+            if (hit->first < hi && hit->second > lo)
+                worst = std::max(worst, hit->second);
+        }
+        return worst;
+    };
+
+    auto align_up = [&](Addr a) {
+        return (a + alignment - 1) & ~(alignment - 1);
+    };
+    Addr candidate = align_up(kMmapBase);
+    for (;;) {
+        if (candidate + len > kUserVaLimit)
+            return kAddrInvalid;
+        Addr bump = conflict_end(candidate, candidate + len);
+        if (bump == 0)
+            return candidate;
+        candidate = align_up(bump);
+    }
+}
+
+Addr
+AddressSpace::mmapRegion(std::uint64_t len, std::uint8_t prot,
+                         bool file_backed)
+{
+    if (len == 0)
+        return kAddrInvalid;
+    len = pageAlignUp(len);
+    Addr base = findFreeRange(len);
+    if (base == kAddrInvalid)
+        return kAddrInvalid;
+    Vma vma;
+    vma.start = base;
+    vma.end = base + len;
+    vma.prot = prot;
+    vma.fileBacked = file_backed;
+    vmas_[base] = vma;
+    return base;
+}
+
+Addr
+AddressSpace::mmapHugeRegion(std::uint64_t len, std::uint8_t prot)
+{
+    if (len == 0)
+        return kAddrInvalid;
+    len = (len + kHugePageSize - 1) & ~(kHugePageSize - 1);
+    Addr base = findFreeRange(len, kHugePageSize);
+    if (base == kAddrInvalid)
+        return kAddrInvalid;
+    Vma vma;
+    vma.start = base;
+    vma.end = base + len;
+    vma.prot = prot;
+    vma.huge = true;
+    vmas_[base] = vma;
+    return base;
+}
+
+void
+AddressSpace::splitAt(Addr addr)
+{
+    auto it = vmas_.upper_bound(addr);
+    if (it == vmas_.begin())
+        return;
+    --it;
+    Vma &vma = it->second;
+    if (!vma.contains(addr) || vma.start == addr)
+        return;
+    Vma tail = vma;
+    tail.start = addr;
+    vma.end = addr;
+    vmas_[addr] = tail;
+}
+
+UnmapResult
+AddressSpace::munmapRegion(Addr addr, std::uint64_t len)
+{
+    UnmapResult result;
+    Addr lo = pageAlignDown(addr);
+    Addr hi = pageAlignUp(addr + len);
+    if (!vmaRangeValid(lo, hi))
+        return result;
+    result.ok = true;
+    result.spanned = (hi - lo) >> kPageShift;
+
+    splitAt(lo);
+    splitAt(hi);
+
+    auto it = vmas_.lower_bound(lo);
+    while (it != vmas_.end() && it->second.start < hi) {
+        const Vma &vma = it->second;
+        pt_.forEachPresent(pageOf(vma.start), pageOf(vma.end) - 1,
+                           [&](Vpn vpn, Pte &) {
+                               result.pages.emplace_back(vpn, 0);
+                           });
+        // Collect PMD mappings too — whether the VMA was created
+        // huge or a region was promoted (khugepaged) later.
+        for (Vpn base = hugeBaseOf(pageOf(vma.start));
+             base < pageOf(vma.end); base += kHugePageSpan) {
+            Pte old = pt_.unmapHuge(base);
+            if (old.present())
+                result.hugePages.emplace_back(base, old.pfn);
+        }
+        it = vmas_.erase(it);
+    }
+    // Unmap outside the forEach to keep its "no map/unmap" contract.
+    // Sharer info is NOT cleared here: the coherence policy (ABIS)
+    // reads it to compute the shootdown target set; the kernel
+    // clears it once the policy has run.
+    for (auto &page : result.pages) {
+        Pte old = pt_.unmap(page.first);
+        page.second = old.pfn;
+        contentTags_.erase(page.first);
+    }
+    return result;
+}
+
+UnmapResult
+AddressSpace::madviseRegion(Addr addr, std::uint64_t len)
+{
+    UnmapResult result;
+    Addr lo = pageAlignDown(addr);
+    Addr hi = pageAlignUp(addr + len);
+    if (!vmaRangeValid(lo, hi))
+        return result;
+    result.ok = true;
+    result.spanned = (hi - lo) >> kPageShift;
+
+    for (auto it = vmas_.upper_bound(hi - 1); it != vmas_.begin();) {
+        --it;
+        const Vma &vma = it->second;
+        if (vma.end <= lo)
+            break;
+        if (!vma.overlaps(lo, hi))
+            continue;
+        Vpn first = pageOf(std::max(vma.start, lo));
+        Vpn last = pageOf(std::min(vma.end, hi)) - 1;
+        pt_.forEachPresent(first, last, [&](Vpn vpn, Pte &) {
+            result.pages.emplace_back(vpn, 0);
+        });
+        // Only whole 2 MiB regions inside the advised range are
+        // dropped (a real THP kernel would split; we keep the
+        // mapping for partial advice). Applies to huge VMAs and to
+        // khugepaged-promoted regions alike.
+        for (Vpn base = hugeBaseOf(first);
+             base + kHugePageSpan <= last + 1;
+             base += kHugePageSpan) {
+            if (base < first)
+                continue;
+            Pte old = pt_.unmapHuge(base);
+            if (old.present())
+                result.hugePages.emplace_back(base, old.pfn);
+        }
+    }
+    for (auto &page : result.pages) {
+        Pte old = pt_.unmap(page.first);
+        page.second = old.pfn;
+        contentTags_.erase(page.first);
+    }
+    return result;
+}
+
+UnmapResult
+AddressSpace::mprotectRegion(Addr addr, std::uint64_t len,
+                             std::uint8_t prot)
+{
+    UnmapResult result;
+    Addr lo = pageAlignDown(addr);
+    Addr hi = pageAlignUp(addr + len);
+    if (!vmaRangeValid(lo, hi))
+        return result;
+    result.ok = true;
+    result.spanned = (hi - lo) >> kPageShift;
+
+    splitAt(lo);
+    splitAt(hi);
+
+    for (auto it = vmas_.lower_bound(lo);
+         it != vmas_.end() && it->second.start < hi; ++it) {
+        Vma &vma = it->second;
+        vma.prot = prot;
+        pt_.forEachPresent(
+            pageOf(vma.start), pageOf(vma.end) - 1,
+            [&](Vpn vpn, Pte &pte) {
+                if (prot & kProtWrite)
+                    pte.flags |= kPteWrite;
+                else
+                    pte.flags &= static_cast<std::uint8_t>(~kPteWrite);
+                result.pages.emplace_back(vpn, pte.pfn);
+            });
+    }
+    return result;
+}
+
+Addr
+AddressSpace::mremapRegion(Addr old_addr, std::uint64_t old_len,
+                           std::uint64_t new_len, UnmapResult *moved_out)
+{
+    Addr lo = pageAlignDown(old_addr);
+    Addr hi = pageAlignUp(old_addr + old_len);
+    if (!vmaRangeValid(lo, hi))
+        return kAddrInvalid;
+    new_len = pageAlignUp(new_len);
+
+    const Vma *vma = findVma(lo);
+    if (!vma || vma->end < hi)
+        return kAddrInvalid; // must lie within one mapping
+
+    std::uint8_t prot = vma->prot;
+    bool file_backed = vma->fileBacked;
+
+    Addr new_base = findFreeRange(new_len);
+    if (new_base == kAddrInvalid)
+        return kAddrInvalid;
+
+    // Collect and move present pages that fit the new size.
+    UnmapResult moved;
+    moved.ok = true;
+    moved.spanned = (hi - lo) >> kPageShift;
+    pt_.forEachPresent(pageOf(lo), pageOf(hi) - 1,
+                       [&](Vpn vpn, Pte &) {
+                           moved.pages.emplace_back(vpn, 0);
+                       });
+    for (auto &page : moved.pages) {
+        Pte old = pt_.unmap(page.first);
+        page.second = old.pfn;
+        clearSharers(page.first);
+        std::uint64_t offset = page.first - pageOf(lo);
+        if (offset < (new_len >> kPageShift)) {
+            pt_.map(pageOf(new_base) + offset, old.pfn,
+                    static_cast<std::uint8_t>(old.flags & ~kPtePresent));
+        } else {
+            // Shrunk away: the frame is released by the caller via
+            // the moved-pages list, exactly like an unmap.
+        }
+    }
+
+    // Replace the VMA range.
+    splitAt(lo);
+    splitAt(hi);
+    for (auto it = vmas_.lower_bound(lo);
+         it != vmas_.end() && it->second.start < hi;)
+        it = vmas_.erase(it);
+    Vma nv;
+    nv.start = new_base;
+    nv.end = new_base + new_len;
+    nv.prot = prot;
+    nv.fileBacked = file_backed;
+    vmas_[new_base] = nv;
+
+    if (moved_out)
+        *moved_out = std::move(moved);
+    return new_base;
+}
+
+UnmapResult
+AddressSpace::markCowRegion(Addr addr, std::uint64_t len)
+{
+    UnmapResult result;
+    Addr lo = pageAlignDown(addr);
+    Addr hi = pageAlignUp(addr + len);
+    if (!vmaRangeValid(lo, hi))
+        return result;
+    result.ok = true;
+    result.spanned = (hi - lo) >> kPageShift;
+    pt_.forEachPresent(pageOf(lo), pageOf(hi) - 1,
+                       [&](Vpn vpn, Pte &pte) {
+                           pte.flags |= kPteCow;
+                           pte.flags &=
+                               static_cast<std::uint8_t>(~kPteWrite);
+                           result.pages.emplace_back(vpn, pte.pfn);
+                       });
+    return result;
+}
+
+void
+AddressSpace::holdbackRange(Addr start, Addr end)
+{
+    if (start >= end)
+        panic("holdback of empty range");
+    holdback_[start] = std::max(holdback_[start], end);
+}
+
+void
+AddressSpace::releaseHoldback(Addr start, Addr end)
+{
+    auto it = holdback_.find(start);
+    if (it == holdback_.end())
+        return;
+    if (it->second <= end)
+        holdback_.erase(it);
+    else
+        holdback_[end] = it->second, holdback_.erase(start);
+}
+
+bool
+AddressSpace::rangeHeldBack(Addr start, Addr end) const
+{
+    auto it = holdback_.upper_bound(end - 1);
+    while (it != holdback_.begin()) {
+        --it;
+        if (it->second <= start)
+            return false;
+        if (it->first < end && it->second > start)
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+AddressSpace::heldBackBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &kv : holdback_)
+        total += kv.second - kv.first;
+    return total;
+}
+
+void
+AddressSpace::setContentTag(Vpn vpn, std::uint64_t tag)
+{
+    if (tag == 0)
+        contentTags_.erase(vpn);
+    else
+        contentTags_[vpn] = tag;
+}
+
+std::uint64_t
+AddressSpace::contentTag(Vpn vpn) const
+{
+    auto it = contentTags_.find(vpn);
+    return it == contentTags_.end() ? 0 : it->second;
+}
+
+void
+AddressSpace::clearContentTag(Vpn vpn)
+{
+    contentTags_.erase(vpn);
+}
+
+void
+AddressSpace::noteAccess(Vpn vpn, CoreId core)
+{
+    sharers_[vpn].set(core);
+}
+
+CpuMask
+AddressSpace::sharersOf(Vpn vpn) const
+{
+    auto it = sharers_.find(vpn);
+    return it == sharers_.end() ? CpuMask() : it->second;
+}
+
+void
+AddressSpace::clearSharers(Vpn vpn)
+{
+    sharers_.erase(vpn);
+}
+
+} // namespace latr

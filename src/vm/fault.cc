@@ -1,0 +1,168 @@
+#include "vm/fault.hh"
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+TouchResult
+touchPage(CoreId core, NodeId node, AddressSpace &mm, Tlb &tlb,
+          const CostModel &cost, Addr addr, bool is_write,
+          const TouchHooks &hooks)
+{
+    TouchResult result;
+    const Vpn vpn = pageOf(addr);
+    const Pcid pcid = mm.pcid();
+
+    // 1. TLB. A hit is final even if the OS already unmapped the
+    //    page: that is precisely the stale-entry window the paper's
+    //    section 4.4 reasons about. Exception: a write through an
+    //    entry cached read-only re-walks (the TLB caches the W bit),
+    //    which is how CoW breaks and mprotect faults reach the
+    //    handler.
+    Pfn pfn = kPfnInvalid;
+    bool entry_writable = true;
+    TlbResult tr = tlb.lookup(vpn, pcid, &pfn, &entry_writable);
+    const bool perm_ok = !is_write || entry_writable;
+    if (tr == TlbResult::HitL1 && perm_ok) {
+        result.kind = TouchKind::TlbHit;
+        result.latency = cost.memAccess;
+        result.pfn = pfn;
+        return result;
+    }
+    if (tr == TlbResult::HitL2 && perm_ok) {
+        result.kind = TouchKind::TlbL2Hit;
+        result.latency = cost.memAccess + cost.l2TlbHit;
+        result.pfn = pfn;
+        return result;
+    }
+
+    // 2. Page-table walk. Huge (PMD-level) mappings resolve one
+    //    level earlier.
+    result.latency = cost.ptWalk;
+    if (Pte *hpte = mm.pageTable().findHuge(vpn)) {
+        if (is_write && !hpte->writable()) {
+            result.kind = TouchKind::SegFault;
+            return result;
+        }
+        hpte->flags |= kPteAccessed;
+        if (is_write)
+            hpte->flags |= kPteDirty;
+        tlb.insertHuge(hugeBaseOf(vpn), hpte->pfn, pcid,
+                       hpte->writable());
+        mm.residencyMask().set(core);
+        mm.noteAccess(hugeBaseOf(vpn), core);
+        result.kind = TouchKind::WalkHit;
+        result.pfn = hpte->pfn + (vpn - hugeBaseOf(vpn));
+        return result;
+    }
+    Pte *pte = mm.pageTable().walkHardware(vpn, is_write);
+
+    // 2a. NUMA-hint fault: present but prot-none.
+    if (pte && pte->protNone()) {
+        result.kind = TouchKind::NumaFault;
+        result.latency += cost.minorFault + cost.numaHintFaultExtra;
+        if (hooks.onNumaHintFault)
+            result.latency += hooks.onNumaHintFault(vpn, core);
+        // The hook restored or replaced the PTE; retry the walk.
+        pte = mm.pageTable().walkHardware(vpn, is_write);
+        if (!pte || pte->protNone()) {
+            // Hook chose not to resolve (e.g. migration aborted and
+            // the mapping stays sampled); the access stalls in the
+            // fault handler, modeled as completing after the fault.
+            return result;
+        }
+        tlb.insert(vpn, pte->pfn, pcid, pte->writable());
+        mm.residencyMask().set(core);
+        mm.noteAccess(vpn, core);
+        result.pfn = pte->pfn;
+        return result;
+    }
+
+    // 2b. Present translation.
+    if (pte) {
+        if (is_write && !pte->writable()) {
+            if (pte->cow()) {
+                result.kind = TouchKind::CowBreak;
+                result.latency += cost.minorFault;
+                if (hooks.onCowWrite)
+                    result.latency += hooks.onCowWrite(vpn, core);
+                pte = mm.pageTable().walkHardware(vpn, true);
+                if (!pte || !pte->writable()) {
+                    result.kind = TouchKind::SegFault;
+                    return result;
+                }
+            } else {
+                result.kind = TouchKind::SegFault;
+                return result;
+            }
+        } else {
+            result.kind = TouchKind::WalkHit;
+        }
+        tlb.insert(vpn, pte->pfn, pcid, pte->writable());
+        mm.residencyMask().set(core);
+        mm.noteAccess(vpn, core);
+        result.pfn = pte->pfn;
+        return result;
+    }
+
+    // 3. No translation: demand paging if a VMA covers the address.
+    const Vma *vma = mm.findVma(addr);
+    if (!vma) {
+        result.kind = TouchKind::SegFault;
+        return result;
+    }
+    if (is_write && !(vma->prot & kProtWrite)) {
+        result.kind = TouchKind::SegFault;
+        return result;
+    }
+
+    if (vma->huge) {
+        // Populate a whole 2 MiB region (THP-style). Falls back to
+        // a base page when no contiguous run is free — the
+        // fragmentation compaction exists to repair.
+        const Pfn huge = mm.frames().allocHuge(node);
+        if (huge != kPfnInvalid) {
+            std::uint8_t flags = kPteAccessed;
+            if (vma->prot & kProtWrite)
+                flags |= kPteWrite;
+            if (is_write)
+                flags |= kPteDirty;
+            mm.pageTable().mapHuge(hugeBaseOf(vpn), huge, flags);
+            tlb.insertHuge(hugeBaseOf(vpn), huge, pcid,
+                           (flags & kPteWrite) != 0);
+            mm.residencyMask().set(core);
+            mm.noteAccess(hugeBaseOf(vpn), core);
+            result.kind = TouchKind::MinorFault;
+            result.latency +=
+                cost.minorFault + cost.hugeFaultExtra;
+            if (hooks.onMinorFault)
+                result.latency += hooks.onMinorFault(vpn);
+            result.pfn = huge + (vpn - hugeBaseOf(vpn));
+            return result;
+        }
+    }
+
+    Pfn fresh = mm.frames().alloc(node);
+    if (fresh == kPfnInvalid)
+        fatal("simulated machine out of physical memory");
+    std::uint8_t flags = 0;
+    if (vma->prot & kProtWrite)
+        flags |= kPteWrite;
+    if (is_write)
+        flags |= kPteDirty;
+    flags |= kPteAccessed;
+    mm.pageTable().map(vpn, fresh, flags);
+    tlb.insert(vpn, fresh, pcid, (flags & kPteWrite) != 0);
+    mm.residencyMask().set(core);
+    mm.noteAccess(vpn, core);
+
+    result.kind = TouchKind::MinorFault;
+    result.latency += cost.minorFault + cost.pteMapPerPage;
+    if (hooks.onMinorFault)
+        result.latency += hooks.onMinorFault(vpn);
+    result.pfn = fresh;
+    return result;
+}
+
+} // namespace latr

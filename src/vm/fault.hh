@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The memory-access path: what happens when a task touches a page.
+ * Resolves through the core's TLB, the page table, and the fault
+ * handlers (demand paging, copy-on-write, NUMA-hint faults), and
+ * returns the latency of the access plus what happened — including
+ * the paper's section 4.4 race behaviour: a touch that hits a stale
+ * TLB entry proceeds against the old frame, and only faults once the
+ * lazy invalidation has swept the entry.
+ */
+
+#ifndef LATR_VM_FAULT_HH_
+#define LATR_VM_FAULT_HH_
+
+#include <functional>
+
+#include "hw/tlb.hh"
+#include "mem/frame_allocator.hh"
+#include "sim/types.hh"
+#include "topo/cost_model.hh"
+#include "vm/address_space.hh"
+
+namespace latr
+{
+
+/** What a touch resolved to. */
+enum class TouchKind
+{
+    TlbHit,      ///< L1 TLB hit
+    TlbL2Hit,    ///< L2 TLB hit
+    WalkHit,     ///< TLB miss, page table had it
+    MinorFault,  ///< demand-paged a fresh frame
+    NumaFault,   ///< NUMA-hint (prot-none) fault
+    CowBreak,    ///< write to a CoW page copied the frame
+    SegFault,    ///< no mapping / permission violation
+};
+
+/** Outcome of touchPage(). */
+struct TouchResult
+{
+    TouchKind kind = TouchKind::SegFault;
+    Duration latency = 0;
+    /** Frame the access actually reached (stale frames included). */
+    Pfn pfn = kPfnInvalid;
+    bool
+    faulted() const
+    {
+        return kind == TouchKind::SegFault;
+    }
+};
+
+/**
+ * Optional policy/subsystem hooks invoked from the fault paths.
+ * Each returns extra latency to charge to the access.
+ */
+struct TouchHooks
+{
+    /** After a demand-page fault maps @p vpn (ABIS tracking cost). */
+    std::function<Duration(Vpn)> onMinorFault;
+
+    /**
+     * A NUMA-hint (prot-none) fault on @p vpn from @p core. The hook
+     * owns resolving the PTE (restore or migrate); the touch retries
+     * the walk afterwards.
+     */
+    std::function<Duration(Vpn, CoreId)> onNumaHintFault;
+
+    /**
+     * A write hit a CoW page. The hook performs the copy/shootdown
+     * and must leave the PTE writable.
+     */
+    std::function<Duration(Vpn, CoreId)> onCowWrite;
+};
+
+/**
+ * Touch one page.
+ *
+ * @param core id of the accessing core (for sharer tracking).
+ * @param node NUMA node of the accessing core (demand allocations
+ *        land here, as with Linux's default local policy).
+ * @param mm the address space.
+ * @param tlb the accessing core's TLB.
+ * @param cost latency constants.
+ * @param addr virtual address touched.
+ * @param is_write store (true) or load.
+ * @param hooks fault-path callbacks (may hold empty functions).
+ */
+TouchResult touchPage(CoreId core, NodeId node, AddressSpace &mm,
+                      Tlb &tlb, const CostModel &cost, Addr addr,
+                      bool is_write, const TouchHooks &hooks);
+
+} // namespace latr
+
+#endif // LATR_VM_FAULT_HH_

@@ -1,0 +1,4 @@
+// All SimMutex/SimRwSem members are short and defined inline in
+// sem.hh; this file exists so the module has a translation unit that
+// verifies the header is self-contained.
+#include "vm/sem.hh"

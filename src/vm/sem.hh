@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Simulated kernel locks. Cores in this simulator compute operation
+ * latencies synchronously, so a lock is modeled as a reservation in
+ * simulated time: acquiring returns the tick at which the holder may
+ * start, and contention appears as the gap between request and start.
+ * mmap_sem is the load-bearing instance — Linux's munmap holds it
+ * across the whole synchronous shootdown, which is what collapses
+ * Apache's scaling (figure 9); LATR's short hold restores it.
+ */
+
+#ifndef LATR_VM_SEM_HH_
+#define LATR_VM_SEM_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/**
+ * A reservation-based mutex. acquire(t, hold) serializes all holders:
+ * the caller starts at max(t, next-free) and occupies the lock for
+ * @p hold nanoseconds.
+ */
+class SimMutex
+{
+  public:
+    /**
+     * Reserve the lock.
+     * @param now tick the caller wants the lock.
+     * @param hold how long the caller will hold it.
+     * @return tick at which the caller actually holds the lock.
+     */
+    Tick
+    acquire(Tick now, Duration hold)
+    {
+        Tick start = now > nextFree_ ? now : nextFree_;
+        nextFree_ = start + hold;
+        totalWait_ += start - now;
+        ++acquisitions_;
+        return start;
+    }
+
+    /**
+     * Extend the current reservation by @p extra ns (used when the
+     * hold duration is only known after acquiring).
+     */
+    void extend(Duration extra) { nextFree_ += extra; }
+
+    /** Earliest tick a new holder could start. */
+    Tick nextFree() const { return nextFree_; }
+
+    /// @name Stats
+    /// @{
+    std::uint64_t acquisitions() const { return acquisitions_; }
+    std::uint64_t totalWaitNs() const { return totalWait_; }
+    /// @}
+
+  private:
+    Tick nextFree_ = 0;
+    std::uint64_t totalWait_ = 0;
+    std::uint64_t acquisitions_ = 0;
+};
+
+/**
+ * A reservation-based reader/writer semaphore (the simulated
+ * mmap_sem). Readers may overlap each other; writers exclude
+ * everyone. The model is writer-preferring only in that a writer's
+ * reservation blocks readers that arrive later.
+ */
+class SimRwSem
+{
+  public:
+    /**
+     * Reserve for reading.
+     * @return tick at which the read section starts.
+     */
+    Tick
+    acquireRead(Tick now, Duration hold)
+    {
+        Tick start = now > writerFree_ ? now : writerFree_;
+        Tick end = start + hold;
+        if (end > readersEnd_)
+            readersEnd_ = end;
+        readWait_ += start - now;
+        ++readAcqs_;
+        return start;
+    }
+
+    /**
+     * Reserve for writing.
+     * @return tick at which the write section starts.
+     */
+    Tick
+    acquireWrite(Tick now, Duration hold)
+    {
+        Tick start = now;
+        if (start < writerFree_)
+            start = writerFree_;
+        if (start < readersEnd_)
+            start = readersEnd_;
+        writerFree_ = start + hold;
+        writeWait_ += start - now;
+        ++writeAcqs_;
+        return start;
+    }
+
+    /** Extend the most recent write reservation. */
+    void extendWrite(Duration extra) { writerFree_ += extra; }
+
+    /**
+     * Keep the semaphore write-held until at least @p t. Used by
+     * LATR's migration protocol: the first sweeping core releases
+     * mmap_sem only once every CPU-mask bit is cleared (paper 4.4),
+     * and that tick is only known when the last sweep happens.
+     */
+    void
+    blockUntil(Tick t)
+    {
+        if (t > writerFree_)
+            writerFree_ = t;
+    }
+
+    /** Earliest tick a new writer could start. */
+    Tick
+    writerNextFree() const
+    {
+        return writerFree_ > readersEnd_ ? writerFree_ : readersEnd_;
+    }
+
+    /// @name Stats
+    /// @{
+    std::uint64_t readAcquisitions() const { return readAcqs_; }
+    std::uint64_t writeAcquisitions() const { return writeAcqs_; }
+    std::uint64_t readWaitNs() const { return readWait_; }
+    std::uint64_t writeWaitNs() const { return writeWait_; }
+    /// @}
+
+  private:
+    Tick writerFree_ = 0;
+    Tick readersEnd_ = 0;
+    std::uint64_t readWait_ = 0;
+    std::uint64_t writeWait_ = 0;
+    std::uint64_t readAcqs_ = 0;
+    std::uint64_t writeAcqs_ = 0;
+};
+
+} // namespace latr
+
+#endif // LATR_VM_SEM_HH_

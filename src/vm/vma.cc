@@ -1,0 +1,16 @@
+#include "vm/vma.hh"
+
+namespace latr
+{
+
+bool
+vmaRangeValid(Addr start, Addr end)
+{
+    if (start >= end)
+        return false;
+    if ((start & (kPageSize - 1)) != 0 || (end & (kPageSize - 1)) != 0)
+        return false;
+    return end <= kUserVaLimit;
+}
+
+} // namespace latr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Virtual memory areas: contiguous, page-aligned ranges of a process
+ * address space with uniform protection, the simulated analogue of
+ * Linux's vm_area_struct.
+ */
+
+#ifndef LATR_VM_VMA_HH_
+#define LATR_VM_VMA_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** VMA protection/permission bits. */
+enum VmaProt : std::uint8_t
+{
+    kProtRead = 1 << 0,
+    kProtWrite = 1 << 1,
+};
+
+/** A contiguous mapped region [start, end), page aligned. */
+struct Vma
+{
+    Addr start = 0;
+    Addr end = 0; // exclusive
+    std::uint8_t prot = kProtRead | kProtWrite;
+    /** File-backed (affects nothing yet beyond bookkeeping). */
+    bool fileBacked = false;
+    /** Backed by 2 MiB huge pages (demand-faulted a region at a time). */
+    bool huge = false;
+
+    std::uint64_t
+    pages() const
+    {
+        return (end - start) >> kPageShift;
+    }
+
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= start && addr < end;
+    }
+
+    bool
+    overlaps(Addr lo, Addr hi) const
+    {
+        // [lo, hi) against [start, end)
+        return lo < end && start < hi;
+    }
+};
+
+/** Validate that [start, end) is a sane, page-aligned range. */
+bool vmaRangeValid(Addr start, Addr end);
+
+} // namespace latr
+
+#endif // LATR_VM_VMA_HH_

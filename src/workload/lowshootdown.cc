@@ -1,0 +1,61 @@
+#include "workload/lowshootdown.hh"
+
+#include "machine/machine.hh"
+#include "sim/logging.hh"
+#include "workload/parsec.hh"
+#include "workload/webserver.hh"
+
+namespace latr
+{
+
+const std::vector<LowShootdownCase> &
+lowShootdownCases()
+{
+    using Kind = LowShootdownCase::Kind;
+    static const std::vector<LowShootdownCase> cases = {
+        {"nginx_1", Kind::Nginx, 1, nullptr},
+        {"apache_1", Kind::Apache, 1, nullptr},
+        {"bodytrack_16", Kind::Parsec, 16, "bodytrack"},
+        {"canneal_16", Kind::Parsec, 16, "canneal"},
+        {"facesim_16", Kind::Parsec, 16, "facesim"},
+        {"ferret_16", Kind::Parsec, 16, "ferret"},
+        {"streamcluster_16", Kind::Parsec, 16, "streamcluster"},
+    };
+    return cases;
+}
+
+LowShootdownResult
+runLowShootdownCase(const MachineConfig &base, PolicyKind policy,
+                    const LowShootdownCase &c)
+{
+    Machine machine(base, policy);
+    LowShootdownResult result;
+    result.name = c.name;
+
+    switch (c.kind) {
+      case LowShootdownCase::Kind::Nginx:
+      case LowShootdownCase::Kind::Apache: {
+        WebServerConfig cfg;
+        cfg.workers = c.cores;
+        cfg.processes = 1;
+        cfg.mmapPerRequest = c.kind == LowShootdownCase::Kind::Apache;
+        WebServerWorkload server(machine, cfg);
+        const Duration measured = 200 * kMsec;
+        WebServerResult r = server.measure(50 * kMsec, measured);
+        result.performance = r.requestsPerSec;
+        result.shootdownsPerSec = r.shootdownsPerSec;
+        break;
+      }
+      case LowShootdownCase::Kind::Parsec: {
+        ParsecResult r = runParsec(
+            machine, parsecProfile(c.parsecName), c.cores);
+        result.performance =
+            r.runtimeNs ? 1e9 / static_cast<double>(r.runtimeNs) : 0.0;
+        result.shootdownsPerSec = r.shootdownsPerSec;
+        break;
+      }
+    }
+    return result;
+}
+
+} // namespace latr

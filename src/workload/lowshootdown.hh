@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The low-shootdown overhead study of the paper's figure 12: does
+ * LATR slow anything down when there is (almost) nothing to make
+ * lazy? Cases: nginx on one core (sendfile, no per-request mmap),
+ * Apache on one core, and the five quietest PARSEC benchmarks on 16
+ * cores. The paper's answer: at most 1.7% overhead.
+ */
+
+#ifndef LATR_WORKLOAD_LOWSHOOTDOWN_HH_
+#define LATR_WORKLOAD_LOWSHOOTDOWN_HH_
+
+#include <string>
+#include <vector>
+
+#include "tlbcoh/policy.hh"
+#include "topo/machine_config.hh"
+
+namespace latr
+{
+
+/** One row of figure 12. */
+struct LowShootdownCase
+{
+    enum class Kind
+    {
+        Nginx,   ///< single-core sendfile server
+        Apache,  ///< single-core mmap-per-request server
+        Parsec,  ///< a quiet PARSEC profile on all cores
+    };
+
+    const char *name;
+    Kind kind;
+    unsigned cores;
+    /** PARSEC profile name (Kind::Parsec only). */
+    const char *parsecName;
+};
+
+/** The seven cases of figure 12. */
+const std::vector<LowShootdownCase> &lowShootdownCases();
+
+/** Outcome of one case under one policy. */
+struct LowShootdownResult
+{
+    std::string name;
+    /** Higher-is-better performance metric (req/s or 1/runtime). */
+    double performance = 0.0;
+    double shootdownsPerSec = 0.0;
+};
+
+/**
+ * Run one case on a fresh machine built from @p base under
+ * @p policy.
+ */
+LowShootdownResult runLowShootdownCase(const MachineConfig &base,
+                                       PolicyKind policy,
+                                       const LowShootdownCase &c);
+
+} // namespace latr
+
+#endif // LATR_WORKLOAD_LOWSHOOTDOWN_HH_

@@ -1,0 +1,89 @@
+#include "workload/microbench.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "tlbcoh/latr_policy.hh"
+
+namespace latr
+{
+
+MunmapMicrobenchResult
+runMunmapMicrobench(Machine &machine,
+                    const MunmapMicrobenchConfig &config)
+{
+    Kernel &kernel = machine.kernel();
+    const unsigned cores =
+        std::min(config.sharingCores, machine.topo().totalCores());
+    if (cores == 0)
+        fatal("microbenchmark needs at least one core");
+
+    Process *process = kernel.createProcess("ubench");
+    std::vector<Task *> tasks;
+    tasks.reserve(cores);
+    for (CoreId c = 0; c < cores; ++c)
+        tasks.push_back(kernel.spawnTask(process, c));
+
+    auto *latr_policy = dynamic_cast<LatrPolicy *>(&machine.policy());
+
+    Distribution munmap_lat;
+    Distribution shoot_lat;
+    MunmapMicrobenchResult result;
+
+    // Let ticks settle before measuring.
+    machine.run(2 * machine.config().cost.tickInterval);
+
+    const std::uint64_t len = config.pages * kPageSize;
+    const unsigned total =
+        config.iterations + config.warmupIterations;
+
+    for (unsigned iter = 0; iter < total; ++iter) {
+        // Map and fault the pages on the initiator.
+        SyscallResult m = kernel.mmap(tasks[0], len,
+                                      kProtRead | kProtWrite);
+        if (!m.ok)
+            fatal("microbenchmark mmap failed (address space?)");
+        Duration setup = m.latency;
+
+        Duration slowest_sharer = 0;
+        for (unsigned c = 0; c < cores; ++c) {
+            Duration sharer = 0;
+            for (std::uint64_t p = 0; p < config.pages; ++p) {
+                TouchResult t = kernel.touch(
+                    tasks[c], m.addr + p * kPageSize, true);
+                sharer += t.latency;
+            }
+            slowest_sharer = std::max(slowest_sharer, sharer);
+        }
+        setup += slowest_sharer;
+        machine.run(setup);
+
+        // The measured munmap.
+        SyscallResult u = kernel.munmap(tasks[0], m.addr, len);
+        if (!u.ok)
+            fatal("microbenchmark munmap failed");
+        if (iter >= config.warmupIterations) {
+            munmap_lat.sample(static_cast<double>(u.latency));
+            shoot_lat.sample(static_cast<double>(u.shootdown));
+        }
+        if (latr_policy) {
+            result.lazyBytesPeak = std::max(result.lazyBytesPeak,
+                                            latr_policy->lazyBytes());
+        }
+        machine.run(u.latency + config.interIterationGap);
+    }
+
+    // Let lazy reclamation finish.
+    machine.run(6 * kMsec);
+
+    result.munmapMeanNs = munmap_lat.mean();
+    result.shootdownMeanNs = shoot_lat.mean();
+    result.munmapP99Ns = munmap_lat.percentile(0.99);
+    result.latrFallbacks =
+        machine.stats().counterValue("latr.fallback_ipis");
+    return result;
+}
+
+} // namespace latr

@@ -1,0 +1,141 @@
+#include "workload/numabench.hh"
+
+#include <algorithm>
+
+#include "numa/autonuma.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workload/workload.hh"
+
+namespace latr
+{
+
+const std::vector<NumaBenchProfile> &
+numaBenchSuite()
+{
+    // Field order: name, arrayPages, computePerIter, touchPages,
+    // itersPerCore, scanInterval, pagesPerScan.
+    //
+    // graph500's irregular BFS touches the most remote pages and
+    // migrates the most (the paper's biggest winner at 5.7%);
+    // pbzip2 is dominated by compression CPU, so migration hardly
+    // moves its runtime.
+    static const std::vector<NumaBenchProfile> suite = {
+        {"fluidanimate", 12288, 40 * kUsec, 10, 1200, 10 * kMsec, 96},
+        {"ocean_cp", 16384, 36 * kUsec, 12, 1300, 10 * kMsec, 112},
+        {"graph500", 24576, 30 * kUsec, 16, 1500, 8 * kMsec, 160},
+        {"pbzip2", 8192, 70 * kUsec, 4, 900, 12 * kMsec, 48},
+        {"metis", 16384, 44 * kUsec, 10, 1100, 10 * kMsec, 112},
+    };
+    return suite;
+}
+
+namespace
+{
+
+/** One NUMA-bench worker over its slice of the shared array. */
+class NumaWorker : public CoreActor
+{
+  public:
+    NumaWorker(Machine &machine, Task *task,
+               const NumaBenchProfile &profile, Addr base,
+               std::uint64_t first_page, std::uint64_t page_count,
+               std::uint64_t iters, std::uint64_t seed)
+        : CoreActor(machine, task), profile_(profile), base_(base),
+          firstPage_(first_page), pageCount_(page_count),
+          left_(iters), rng_(seed)
+    {
+    }
+
+  protected:
+    Duration
+    step() override
+    {
+        if (left_ == 0)
+            return kActorDone;
+        --left_;
+
+        Duration d = profile_.computePerIter;
+        for (unsigned t = 0; t < profile_.touchPages; ++t) {
+            const std::uint64_t page =
+                firstPage_ + rng_.nextBounded(pageCount_);
+            TouchResult r = kernel().touch(
+                task(), base_ + page * kPageSize, (t & 3) == 0);
+            d += r.latency;
+        }
+        return d;
+    }
+
+  private:
+    const NumaBenchProfile &profile_;
+    Addr base_;
+    std::uint64_t firstPage_;
+    std::uint64_t pageCount_;
+    std::uint64_t left_;
+    Rng rng_;
+};
+
+} // namespace
+
+NumaBenchResult
+runNumaBench(Machine &machine, const NumaBenchProfile &profile,
+             unsigned cores)
+{
+    cores = std::min(cores, machine.topo().totalCores());
+    Kernel &kernel = machine.kernel();
+    Process *process = kernel.createProcess(profile.name);
+
+    // First-touch the whole array from core 0 (node 0): the classic
+    // NUMA-unfriendly initialization AutoNUMA exists to repair.
+    Task *init = kernel.spawnTask(process, 0);
+    SyscallResult m = kernel.mmap(
+        process->tasks().front(), profile.arrayPages * kPageSize,
+        kProtRead | kProtWrite);
+    if (!m.ok)
+        fatal("numabench array mmap failed");
+    for (std::uint64_t p = 0; p < profile.arrayPages; ++p) {
+        kernel.touch(init, m.addr + p * kPageSize, true);
+        if ((p & 1023) == 0)
+            machine.run(50 * kUsec); // pace the init phase
+    }
+
+    AutoNuma autonuma(kernel, profile.scanInterval,
+                      profile.pagesPerScan);
+    autonuma.track(process);
+    // The scan period is long relative to these runs, so a sampled
+    // page is rarely sampled twice; migrate on the first remote
+    // fault (see AutoNuma::setTwoTouch).
+    autonuma.setTwoTouch(false);
+    autonuma.setScanStride(
+        std::max<std::uint64_t>(1, profile.arrayPages /
+                                       profile.pagesPerScan));
+    autonuma.start();
+
+    // Workers across all cores; each owns a slice of the array.
+    std::vector<std::unique_ptr<CoreActor>> actors;
+    const std::uint64_t slice = profile.arrayPages / cores;
+    for (CoreId c = 0; c < cores; ++c) {
+        Task *task = (c == 0) ? init : kernel.spawnTask(process, c);
+        auto worker = std::make_unique<NumaWorker>(
+            machine, task, profile, m.addr, c * slice, slice,
+            profile.itersPerCore, 0x10a17 + c);
+        worker->start(machine.now() + c * kUsec + 1);
+        actors.push_back(std::move(worker));
+    }
+
+    const Tick t0 = machine.now();
+    const Tick finish =
+        runToCompletion(machine, actors, t0 + 120 * kSec);
+    autonuma.stop();
+
+    NumaBenchResult result;
+    result.name = profile.name;
+    result.runtimeNs = finish - t0;
+    result.migrations = autonuma.migrations();
+    result.samples = autonuma.samples();
+    result.migrationsPerSec =
+        ratePerSecond(result.migrations, result.runtimeNs);
+    return result;
+}
+
+} // namespace latr

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The NUMA-balancing benchmarks of the paper's figure 11:
+ * fluidanimate and ocean_cp (SPLASH-2x), Graph500 (BFS), PBZIP2
+ * (parallel compression), and Metis (single-machine map-reduce).
+ * Each is modeled as a fixed amount of per-core work over a shared
+ * array whose pages were first-touched on node 0, so workers on
+ * other sockets access remotely until AutoNUMA migrates the pages —
+ * the workload that makes the sampling shootdown (which LATR
+ * removes) visible in end-to-end runtime.
+ */
+
+#ifndef LATR_WORKLOAD_NUMABENCH_HH_
+#define LATR_WORKLOAD_NUMABENCH_HH_
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** Profile of one NUMA-balancing benchmark. */
+struct NumaBenchProfile
+{
+    const char *name;
+    /** Shared array size in pages (first-touched on node 0). */
+    std::uint64_t arrayPages;
+    /** Pure CPU per iteration. */
+    Duration computePerIter;
+    /** Pages of the worker's partition touched per iteration. */
+    unsigned touchPages;
+    /** Iterations per core. */
+    std::uint64_t itersPerCore;
+    /** AutoNUMA scan period for this run. */
+    Duration scanInterval;
+    /** PTEs sampled per scan. */
+    unsigned pagesPerScan;
+};
+
+/** The five benchmarks of figure 11. */
+const std::vector<NumaBenchProfile> &numaBenchSuite();
+
+/** Outcome of one run. */
+struct NumaBenchResult
+{
+    std::string name;
+    Duration runtimeNs = 0;
+    double migrationsPerSec = 0.0;
+    std::uint64_t migrations = 0;
+    std::uint64_t samples = 0;
+};
+
+/**
+ * Run @p profile on @p machine using @p cores workers with AutoNUMA
+ * enabled. The machine must be fresh.
+ */
+NumaBenchResult runNumaBench(Machine &machine,
+                             const NumaBenchProfile &profile,
+                             unsigned cores);
+
+} // namespace latr
+
+#endif // LATR_WORKLOAD_NUMABENCH_HH_

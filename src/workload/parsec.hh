@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Profile-driven synthetic PARSEC workloads (paper figure 10 and
+ * table 4). Each profile reproduces the memory-management behaviour
+ * that matters for TLB coherence — the madvise()/munmap() rate (glibc
+ * returns freed arenas with MADV_DONTNEED), the context-switch rate,
+ * the TLB/LLC footprint — calibrated to the per-benchmark shootdown
+ * rates the paper reports (dedup ~30k/s at 16 cores, canneal nearly
+ * none but switch-heavy, most others low).
+ */
+
+#ifndef LATR_WORKLOAD_PARSEC_HH_
+#define LATR_WORKLOAD_PARSEC_HH_
+
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/** Synthetic profile of one PARSEC benchmark. */
+struct ParsecProfile
+{
+    const char *name;
+    /** Pure CPU per iteration. */
+    Duration computePerIter;
+    /** Pages touched per iteration (TLB pressure). */
+    unsigned touchPages;
+    /** Working-set pages the touches range over. */
+    std::uint64_t workingSetPages;
+    /** LLC lines accessed per iteration. */
+    unsigned llcLines;
+    /** LLC working-set lines those accesses range over. */
+    std::uint64_t llcWorkingSetLines;
+    /** madvise(DONTNEED) a scratch buffer every N iterations (0 = never). */
+    unsigned madviseEvery;
+    /** Pages per madvise. */
+    unsigned madvisePages;
+    /** Explicit context switch every N iterations (0 = never). */
+    unsigned ctxSwitchEvery;
+    /** Threads per core (canneal oversubscribes). */
+    unsigned tasksPerCore;
+    /** Iterations per core (fixed work; runtime is the metric). */
+    std::uint64_t itersPerCore;
+};
+
+/** The 13 benchmarks of figure 10, in the paper's order. */
+const std::vector<ParsecProfile> &parsecSuite();
+
+/** Find a profile by name (fatal if absent). */
+const ParsecProfile &parsecProfile(const std::string &name);
+
+/** Outcome of one benchmark run. */
+struct ParsecResult
+{
+    std::string name;
+    /** Completion time of the fixed work. */
+    Duration runtimeNs = 0;
+    double shootdownsPerSec = 0.0;
+    double llcAppMissRatio = 0.0;
+};
+
+/**
+ * Run @p profile on @p machine with @p cores worker cores.
+ * The machine must be fresh.
+ */
+ParsecResult runParsec(Machine &machine, const ParsecProfile &profile,
+                       unsigned cores);
+
+} // namespace latr
+
+#endif // LATR_WORKLOAD_PARSEC_HH_

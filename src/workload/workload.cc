@@ -1,0 +1,79 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+CoreActor::CoreActor(Machine &machine, Task *task)
+    : machine_(machine), task_(task), event_(this)
+{
+}
+
+CoreActor::~CoreActor()
+{
+    stop();
+}
+
+void
+CoreActor::start(Tick at)
+{
+    if (at < machine_.now())
+        at = machine_.now();
+    machine_.queue().reschedule(&event_, at);
+}
+
+void
+CoreActor::stop()
+{
+    if (event_.scheduled())
+        machine_.queue().deschedule(&event_);
+}
+
+void
+CoreActor::doStep()
+{
+    Duration d = step();
+    if (d == kActorDone) {
+        done_ = true;
+        finishedAt_ = machine_.now();
+        return;
+    }
+    ++iterations_;
+    // Asynchronous work that hit this core since the last step
+    // (interrupt handlers, sweeps, tick work) stretches this step.
+    d += machine_.scheduler().takeStolen(core());
+    if (d == 0)
+        d = 1;
+    machine_.queue().schedule(&event_, machine_.now() + d);
+}
+
+Tick
+runToCompletion(Machine &machine,
+                const std::vector<std::unique_ptr<CoreActor>> &actors,
+                Tick limit)
+{
+    const Duration slice = 1 * kMsec;
+    for (;;) {
+        bool all_done = true;
+        for (const auto &actor : actors)
+            if (!actor->done())
+                all_done = false;
+        if (all_done)
+            break;
+        if (machine.now() >= limit) {
+            warn("runToCompletion hit the %llu ns limit",
+                 static_cast<unsigned long long>(limit));
+            break;
+        }
+        machine.run(std::min<Duration>(slice, limit - machine.now()));
+    }
+    Tick finish = 0;
+    for (const auto &actor : actors)
+        finish = std::max(finish, actor->finishedAt());
+    return finish;
+}
+
+} // namespace latr

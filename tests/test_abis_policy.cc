@@ -1,0 +1,127 @@
+// Tests for the ABIS access-bit-tracking baseline.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace latr
+{
+namespace
+{
+
+struct AbisFixture : public ::testing::Test
+{
+    AbisFixture()
+        : machine(test::tinyConfig(), PolicyKind::Abis),
+          kernel(machine.kernel())
+    {
+        process = kernel.createProcess("app");
+        t0 = kernel.spawnTask(process, 0);
+        t1 = kernel.spawnTask(process, 1);
+        t2 = kernel.spawnTask(process, 2);
+    }
+
+    Machine machine;
+    Kernel &kernel;
+    Process *process = nullptr;
+    Task *t0 = nullptr;
+    Task *t1 = nullptr;
+    Task *t2 = nullptr;
+};
+
+TEST_F(AbisFixture, PrivatePageUnmapSendsNoIpis)
+{
+    // Only the initiator touched the page: the access-bit harvest
+    // finds no remote sharer and the IPI is avoided entirely.
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    SyscallResult u = kernel.munmap(t0, m.addr, kPageSize);
+    ASSERT_TRUE(u.ok);
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis);
+    EXPECT_GT(machine.stats().counterValue("abis.shootdowns_avoided"),
+              0u);
+}
+
+TEST_F(AbisFixture, SharedPageUnmapTargetsOnlySharers)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    // t2 is resident (scheduled) but never touched the page.
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    kernel.munmap(t0, m.addr, kPageSize);
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis + 1); // only core 1
+    machine.run(100 * kUsec);
+    EXPECT_FALSE(machine.scheduler().tlbOf(1).probe(pageOf(m.addr), 0));
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(AbisFixture, TrackingCostsShowOnFaultsAndUnmaps)
+{
+    EXPECT_GT(machine.policy().minorFaultOverhead(), 0u);
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    // Fault latency includes the tracking overhead.
+    TouchResult t = kernel.touch(t0, m.addr, true);
+    EXPECT_GE(t.latency,
+              machine.config().cost.minorFault +
+                  machine.config().cost.abisPerFault);
+    // Unmap pays the access-bit scan even with no sharers.
+    SyscallResult u = kernel.munmap(t0, m.addr, kPageSize);
+    EXPECT_GE(u.shootdown, machine.config().cost.abisPerPageScan);
+}
+
+TEST_F(AbisFixture, SharerSetIsConservativeAcrossEvictions)
+{
+    // Once recorded, a sharer stays recorded even if its TLB entry
+    // was evicted long ago — extra IPIs, never missing ones.
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    machine.scheduler().tlbOf(1).flushAll();
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    kernel.munmap(t0, m.addr, kPageSize);
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis + 1);
+}
+
+TEST_F(AbisFixture, IdleSharerIsNotTargeted)
+{
+    // A sharer whose core went idle fell out of the residency mask;
+    // ABIS clips its sharer set to residency.
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    kernel.exitTask(t1);
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    kernel.munmap(t0, m.addr, kPageSize);
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis);
+}
+
+TEST_F(AbisFixture, NumaSampleTargetsSharersOnly)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    kernel.numaSample(t0, pageOf(m.addr));
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis + 1); // core 1 only
+    EXPECT_TRUE(
+        process->mm().pageTable().find(pageOf(m.addr))->protNone());
+}
+
+TEST_F(AbisFixture, CapabilitiesMatchTable2)
+{
+    PolicyCapabilities caps = machine.policy().capabilities();
+    EXPECT_FALSE(caps.asynchronous);
+    EXPECT_FALSE(caps.nonIpiBased);
+    EXPECT_FALSE(caps.noRemoteCoreInvolvement);
+    EXPECT_TRUE(caps.noHardwareChanges);
+}
+
+} // namespace
+} // namespace latr

@@ -1,0 +1,247 @@
+// Unit tests for AddressSpace: VMAs, mmap placement, unmap paths,
+// holdback, and sharer tracking.
+
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hh"
+
+namespace latr
+{
+namespace
+{
+
+struct AddressSpaceFixture : public ::testing::Test
+{
+    AddressSpaceFixture() : frames(2, 1024), mm(1, 0, frames) {}
+
+    /** Map + fault helper: demand-map every page with real frames. */
+    void
+    populate(Addr base, std::uint64_t pages)
+    {
+        for (std::uint64_t p = 0; p < pages; ++p) {
+            Pfn f = frames.alloc(0);
+            ASSERT_NE(f, kPfnInvalid);
+            mm.pageTable().map(pageOf(base) + p, f,
+                               kPteWrite | kPteAccessed);
+        }
+    }
+
+    FrameAllocator frames;
+    AddressSpace mm;
+};
+
+TEST_F(AddressSpaceFixture, MmapReturnsPageAlignedDistinctRegions)
+{
+    Addr a = mm.mmapRegion(3 * kPageSize, kProtRead | kProtWrite);
+    Addr b = mm.mmapRegion(kPageSize, kProtRead);
+    ASSERT_NE(a, kAddrInvalid);
+    ASSERT_NE(b, kAddrInvalid);
+    EXPECT_EQ(a % kPageSize, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(mm.vmaCount(), 2u);
+    EXPECT_TRUE(b >= a + 3 * kPageSize || a >= b + kPageSize);
+}
+
+TEST_F(AddressSpaceFixture, MmapRoundsLengthUp)
+{
+    Addr a = mm.mmapRegion(100, kProtRead);
+    const Vma *vma = mm.findVma(a);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->end - vma->start, kPageSize);
+}
+
+TEST_F(AddressSpaceFixture, MmapZeroLengthFails)
+{
+    EXPECT_EQ(mm.mmapRegion(0, kProtRead), kAddrInvalid);
+}
+
+TEST_F(AddressSpaceFixture, FindVmaBoundaries)
+{
+    Addr a = mm.mmapRegion(2 * kPageSize, kProtRead);
+    EXPECT_NE(mm.findVma(a), nullptr);
+    EXPECT_NE(mm.findVma(a + 2 * kPageSize - 1), nullptr);
+    EXPECT_EQ(mm.findVma(a + 2 * kPageSize), nullptr);
+}
+
+TEST_F(AddressSpaceFixture, MunmapWholeRegionCollectsPages)
+{
+    Addr a = mm.mmapRegion(4 * kPageSize, kProtRead | kProtWrite);
+    populate(a, 4);
+    UnmapResult r = mm.munmapRegion(a, 4 * kPageSize);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pages.size(), 4u);
+    EXPECT_EQ(r.spanned, 4u);
+    EXPECT_EQ(mm.vmaCount(), 0u);
+    EXPECT_EQ(mm.pageTable().presentPages(), 0u);
+}
+
+TEST_F(AddressSpaceFixture, MunmapMiddleSplitsVma)
+{
+    Addr a = mm.mmapRegion(6 * kPageSize, kProtRead | kProtWrite);
+    populate(a, 6);
+    UnmapResult r = mm.munmapRegion(a + 2 * kPageSize, 2 * kPageSize);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pages.size(), 2u);
+    EXPECT_EQ(mm.vmaCount(), 2u);
+    EXPECT_NE(mm.findVma(a), nullptr);
+    EXPECT_EQ(mm.findVma(a + 2 * kPageSize), nullptr);
+    EXPECT_NE(mm.findVma(a + 4 * kPageSize), nullptr);
+    EXPECT_EQ(mm.pageTable().presentPages(), 4u);
+}
+
+TEST_F(AddressSpaceFixture, MunmapSpanningTwoVmas)
+{
+    Addr a = mm.mmapRegion(2 * kPageSize, kProtRead);
+    Addr b = mm.mmapRegion(2 * kPageSize, kProtRead);
+    ASSERT_EQ(b, a + 2 * kPageSize); // first-fit packs them
+    UnmapResult r = mm.munmapRegion(a + kPageSize, 2 * kPageSize);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(mm.vmaCount(), 2u); // head of a, tail of b
+}
+
+TEST_F(AddressSpaceFixture, MunmapUnmappedRangeIsOkAndEmpty)
+{
+    UnmapResult r = mm.munmapRegion(0x5000'0000'0000ULL >> 1, kPageSize);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.pages.empty());
+}
+
+TEST_F(AddressSpaceFixture, MunmapInvalidRangeFails)
+{
+    UnmapResult r = mm.munmapRegion(0x1000, 0);
+    EXPECT_FALSE(r.ok);
+}
+
+TEST_F(AddressSpaceFixture, FirstFitReusesFreedRange)
+{
+    Addr a = mm.mmapRegion(2 * kPageSize, kProtRead);
+    mm.mmapRegion(kPageSize, kProtRead);
+    mm.munmapRegion(a, 2 * kPageSize);
+    Addr c = mm.mmapRegion(kPageSize, kProtRead);
+    EXPECT_EQ(c, a); // Linux-style immediate VA reuse
+}
+
+TEST_F(AddressSpaceFixture, MadviseKeepsVmaDropsPages)
+{
+    Addr a = mm.mmapRegion(4 * kPageSize, kProtRead | kProtWrite);
+    populate(a, 4);
+    UnmapResult r = mm.madviseRegion(a, 2 * kPageSize);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pages.size(), 2u);
+    EXPECT_EQ(mm.vmaCount(), 1u);
+    EXPECT_EQ(mm.pageTable().presentPages(), 2u);
+    EXPECT_NE(mm.findVma(a), nullptr); // still mapped (VMA-wise)
+}
+
+TEST_F(AddressSpaceFixture, MprotectRewritesPteWriteBits)
+{
+    Addr a = mm.mmapRegion(2 * kPageSize, kProtRead | kProtWrite);
+    populate(a, 2);
+    UnmapResult r = mm.mprotectRegion(a, 2 * kPageSize, kProtRead);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.pages.size(), 2u);
+    EXPECT_FALSE(mm.pageTable().find(pageOf(a))->writable());
+    EXPECT_EQ(mm.findVma(a)->prot, kProtRead);
+
+    mm.mprotectRegion(a, kPageSize, kProtRead | kProtWrite);
+    EXPECT_TRUE(mm.pageTable().find(pageOf(a))->writable());
+    EXPECT_FALSE(
+        mm.pageTable().find(pageOf(a) + 1)->writable());
+    EXPECT_EQ(mm.vmaCount(), 2u); // split by the partial mprotect
+}
+
+TEST_F(AddressSpaceFixture, MremapMovesFramesToNewRange)
+{
+    Addr a = mm.mmapRegion(3 * kPageSize, kProtRead | kProtWrite);
+    populate(a, 3);
+    const Pfn f0 = mm.pageTable().find(pageOf(a))->pfn;
+    UnmapResult moved;
+    Addr b = mm.mremapRegion(a, 3 * kPageSize, 3 * kPageSize, &moved);
+    ASSERT_NE(b, kAddrInvalid);
+    EXPECT_NE(b, a);
+    EXPECT_EQ(moved.pages.size(), 3u);
+    EXPECT_EQ(mm.findVma(a), nullptr);
+    ASSERT_NE(mm.pageTable().find(pageOf(b)), nullptr);
+    EXPECT_EQ(mm.pageTable().find(pageOf(b))->pfn, f0);
+    EXPECT_EQ(mm.pageTable().find(pageOf(a)), nullptr);
+}
+
+TEST_F(AddressSpaceFixture, MremapGrowKeepsOldFramesAndExtends)
+{
+    Addr a = mm.mmapRegion(2 * kPageSize, kProtRead | kProtWrite);
+    populate(a, 2);
+    UnmapResult moved;
+    Addr b = mm.mremapRegion(a, 2 * kPageSize, 4 * kPageSize, &moved);
+    ASSERT_NE(b, kAddrInvalid);
+    const Vma *vma = mm.findVma(b);
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->pages(), 4u);
+    EXPECT_EQ(mm.pageTable().presentPages(), 2u);
+}
+
+TEST_F(AddressSpaceFixture, MarkCowClearsWriteSetssCow)
+{
+    Addr a = mm.mmapRegion(2 * kPageSize, kProtRead | kProtWrite);
+    populate(a, 2);
+    UnmapResult r = mm.markCowRegion(a, 2 * kPageSize);
+    EXPECT_EQ(r.pages.size(), 2u);
+    const Pte *pte = mm.pageTable().find(pageOf(a));
+    EXPECT_TRUE(pte->cow());
+    EXPECT_FALSE(pte->writable());
+}
+
+TEST_F(AddressSpaceFixture, HoldbackBlocksMmapReuse)
+{
+    Addr a = mm.mmapRegion(2 * kPageSize, kProtRead);
+    mm.munmapRegion(a, 2 * kPageSize);
+    mm.holdbackRange(a, a + 2 * kPageSize);
+    Addr b = mm.mmapRegion(kPageSize, kProtRead);
+    EXPECT_NE(b, a); // must skip the held-back range
+    EXPECT_TRUE(mm.rangeHeldBack(a, a + kPageSize));
+    EXPECT_EQ(mm.heldBackBytes(), 2 * kPageSize);
+
+    mm.releaseHoldback(a, a + 2 * kPageSize);
+    EXPECT_FALSE(mm.rangeHeldBack(a, a + kPageSize));
+    // After release the first-fit allocator may reuse it again. The
+    // new block b sits after a, so a is the first free gap.
+    Addr c = mm.mmapRegion(kPageSize, kProtRead);
+    EXPECT_EQ(c, a);
+}
+
+TEST_F(AddressSpaceFixture, HoldbackOverlapQueries)
+{
+    mm.holdbackRange(0x10000, 0x12000);
+    EXPECT_TRUE(mm.rangeHeldBack(0x11000, 0x13000));
+    EXPECT_TRUE(mm.rangeHeldBack(0x0f000, 0x10001));
+    EXPECT_FALSE(mm.rangeHeldBack(0x12000, 0x13000));
+    EXPECT_FALSE(mm.rangeHeldBack(0x0e000, 0x10000));
+}
+
+TEST_F(AddressSpaceFixture, SharersAccumulateAndClear)
+{
+    mm.noteAccess(50, 1);
+    mm.noteAccess(50, 3);
+    CpuMask s = mm.sharersOf(50);
+    EXPECT_TRUE(s.test(1));
+    EXPECT_TRUE(s.test(3));
+    EXPECT_EQ(s.count(), 2u);
+    mm.clearSharers(50);
+    EXPECT_TRUE(mm.sharersOf(50).empty());
+}
+
+TEST_F(AddressSpaceFixture, MunmapKeepsSharersForThePolicy)
+{
+    // Sharer info must survive munmapRegion: the coherence policy
+    // (ABIS) reads it to pick shootdown targets; the kernel clears
+    // it afterwards via clearSharers().
+    Addr a = mm.mmapRegion(kPageSize, kProtRead | kProtWrite);
+    populate(a, 1);
+    mm.noteAccess(pageOf(a), 2);
+    mm.munmapRegion(a, kPageSize);
+    EXPECT_TRUE(mm.sharersOf(pageOf(a)).test(2));
+    mm.clearSharers(pageOf(a));
+    EXPECT_TRUE(mm.sharersOf(pageOf(a)).empty());
+}
+
+} // namespace
+} // namespace latr

@@ -1,0 +1,102 @@
+// Tests for the Barrelfish-style message-passing baseline.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace latr
+{
+namespace
+{
+
+struct BarrelfishFixture : public ::testing::Test
+{
+    BarrelfishFixture()
+        : machine(test::tinyConfig(), PolicyKind::Barrelfish),
+          kernel(machine.kernel())
+    {
+        process = kernel.createProcess("app");
+        t0 = kernel.spawnTask(process, 0);
+        t1 = kernel.spawnTask(process, 1);
+    }
+
+    Machine machine;
+    Kernel &kernel;
+    Process *process = nullptr;
+    Task *t0 = nullptr;
+    Task *t1 = nullptr;
+};
+
+TEST_F(BarrelfishFixture, NoIpisAreSent)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    kernel.munmap(t0, m.addr, kPageSize);
+    EXPECT_EQ(machine.ipi().ipisSent(), 0u);
+    EXPECT_GT(machine.stats().counterValue("coh.msg_shootdowns"), 0u);
+}
+
+TEST_F(BarrelfishFixture, StillSynchronousButCheaperThanIpis)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    SyscallResult u = kernel.munmap(t0, m.addr, kPageSize);
+    // Still waits (channel + poll + ack): nonzero, but well below
+    // the IPI path's multi-microsecond delivery.
+    EXPECT_GT(u.shootdown, 0u);
+    EXPECT_LT(u.shootdown,
+              machine.config().cost.ipiDeliveryCost(1) + 2 * kUsec);
+}
+
+TEST_F(BarrelfishFixture, RemoteInvalidationAppliedAtPollPoint)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    kernel.munmap(t0, m.addr, kPageSize);
+    machine.run(50 * kUsec);
+    EXPECT_FALSE(machine.scheduler().tlbOf(1).probe(pageOf(m.addr), 0));
+    machine.run(kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(BarrelfishFixture, NoInterruptOverheadOnRemotes)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    machine.scheduler().takeStolen(1);
+    kernel.munmap(t0, m.addr, kPageSize);
+    machine.run(50 * kUsec);
+    // The remote core only pays the invalidation itself — strictly
+    // less than the fixed interrupt entry/exit of the IPI path.
+    EXPECT_LT(machine.scheduler().takeStolen(1),
+              machine.config().cost.ipiHandlerFixed);
+}
+
+TEST_F(BarrelfishFixture, SyncOpsAlsoUseMessages)
+{
+    SyscallResult m = kernel.mmap(t0, 2 * kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, 2 * kPageSize);
+    kernel.mprotect(t0, m.addr, 2 * kPageSize, kProtRead);
+    EXPECT_EQ(machine.ipi().ipisSent(), 0u);
+    machine.run(50 * kUsec);
+    EXPECT_EQ(kernel.touch(t1, m.addr, true).kind,
+              TouchKind::SegFault);
+}
+
+TEST_F(BarrelfishFixture, CapabilitiesMatchTable2)
+{
+    PolicyCapabilities caps = machine.policy().capabilities();
+    EXPECT_FALSE(caps.asynchronous); // still waits for ACKs
+    EXPECT_TRUE(caps.nonIpiBased);
+    EXPECT_FALSE(caps.noRemoteCoreInvolvement);
+    EXPECT_TRUE(caps.noHardwareChanges);
+}
+
+} // namespace
+} // namespace latr

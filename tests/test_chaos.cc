@@ -1,0 +1,182 @@
+// Chaos test: every background daemon (AutoNUMA, swap, KSM,
+// compaction, khugepaged) running at once over randomized
+// multi-core workloads with base and huge pages, under every
+// coherence policy — the widest net for ordering bugs in the lazy
+// paths. The reuse-invariant checker arbitrates.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numa/autonuma.hh"
+#include "numa/compaction.hh"
+#include "numa/khugepaged.hh"
+#include "numa/ksm.hh"
+#include "numa/swap.hh"
+#include "sim/rng.hh"
+#include "test_helpers.hh"
+
+namespace latr
+{
+namespace
+{
+
+struct ChaosParam
+{
+    PolicyKind policy;
+    std::uint64_t seed;
+};
+
+class Chaos : public ::testing::TestWithParam<ChaosParam>
+{
+};
+
+TEST_P(Chaos, EverythingAtOnceHoldsTheInvariant)
+{
+    const ChaosParam param = GetParam();
+    MachineConfig cfg = test::tinyConfig();
+    cfg.framesPerNode = 16 * 1024;
+    Machine machine(cfg, param.policy);
+    Kernel &kernel = machine.kernel();
+    Rng rng(param.seed);
+
+    Process *pa = kernel.createProcess("a");
+    Process *pb = kernel.createProcess("b");
+    std::vector<Task *> tasks;
+    for (CoreId c = 0; c < machine.topo().totalCores(); ++c)
+        tasks.push_back(kernel.spawnTask(c % 2 ? pa : pb, c));
+    machine.run(kUsec);
+
+    AutoNuma autonuma(kernel, 4 * kMsec, 64);
+    autonuma.track(pa);
+    autonuma.track(pb);
+    autonuma.setTwoTouch(false);
+    autonuma.start();
+
+    SwapDaemon swap(kernel, 6 * kMsec, 16);
+    swap.track(pa);
+    swap.start();
+
+    KsmDaemon ksm(kernel, 5 * kMsec, 16);
+    ksm.track(pa);
+    ksm.track(pb);
+    ksm.start();
+
+    CompactionDaemon compactor(kernel, 0, 7 * kMsec, 16);
+    compactor.track(pa);
+    compactor.start();
+
+    Khugepaged thp(kernel, 9 * kMsec, 2);
+    thp.track(pb);
+    thp.start();
+
+    struct Region
+    {
+        Task *owner;
+        Addr addr;
+        std::uint64_t pages;
+        bool huge;
+    };
+    std::vector<Region> regions;
+
+    const int kOps = 700;
+    for (int op = 0; op < kOps; ++op) {
+        Task *task = tasks[rng.nextBounded(tasks.size())];
+        switch (rng.nextBounded(10)) {
+          case 0:
+          case 1: { // mmap (occasionally huge)
+            const bool huge = rng.nextBool(0.15);
+            SyscallResult m =
+                huge ? kernel.mmapHuge(task, kHugePageSize,
+                                       kProtRead | kProtWrite)
+                     : kernel.mmap(task,
+                                   (1 + rng.nextBounded(12)) *
+                                       kPageSize,
+                                   kProtRead | kProtWrite);
+            if (m.ok)
+                regions.push_back(
+                    {task, m.addr,
+                     huge ? kHugePageSpan
+                          : pagesSpanned(m.addr, kPageSize), huge});
+            break;
+          }
+          case 2:
+          case 3:
+          case 4:
+          case 5: { // touch (tag some pages for KSM)
+            if (regions.empty())
+                break;
+            Region &r = regions[rng.nextBounded(regions.size())];
+            Task *toucher = tasks[rng.nextBounded(tasks.size())];
+            if (toucher->process() != r.owner->process())
+                break;
+            const std::uint64_t page = rng.nextBounded(r.pages);
+            Addr addr = r.addr + page * kPageSize;
+            kernel.touch(toucher, addr, rng.nextBool(0.4));
+            if (!r.huge && rng.nextBool(0.2))
+                toucher->mm().setContentTag(
+                    pageOf(addr), 1 + rng.nextBounded(6));
+            break;
+          }
+          case 6:
+          case 7: { // munmap
+            if (regions.empty())
+                break;
+            std::size_t idx = rng.nextBounded(regions.size());
+            Region r = regions[idx];
+            regions.erase(regions.begin() + idx);
+            kernel.munmap(r.owner, r.addr, r.pages * kPageSize);
+            break;
+          }
+          case 8: { // madvise part
+            if (regions.empty())
+                break;
+            Region &r = regions[rng.nextBounded(regions.size())];
+            kernel.madvise(r.owner, r.addr,
+                           (1 + rng.nextBounded(r.pages)) * kPageSize);
+            break;
+          }
+          default:
+            machine.run(rng.nextBounded(2000) * kUsec + 10 * kUsec);
+            break;
+        }
+    }
+
+    autonuma.stop();
+    swap.stop();
+    ksm.stop();
+    compactor.stop();
+    thp.stop();
+
+    for (const Region &r : regions)
+        kernel.munmap(r.owner, r.addr, r.pages * kPageSize);
+    machine.run(12 * kMsec);
+
+    EXPECT_EQ(machine.checker()->violations(), 0u)
+        << machine.checker()->firstViolation();
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(pa->mm().heldBackBytes(), 0u);
+    EXPECT_EQ(pb->mm().heldBackBytes(), 0u);
+}
+
+std::vector<ChaosParam>
+chaosParams()
+{
+    std::vector<ChaosParam> all;
+    for (PolicyKind kind :
+         {PolicyKind::LinuxSync, PolicyKind::Latr, PolicyKind::Abis,
+          PolicyKind::Barrelfish})
+        for (std::uint64_t seed : {7ull, 77ull})
+            all.push_back({kind, seed});
+    return all;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, Chaos, ::testing::ValuesIn(chaosParams()),
+    [](const ::testing::TestParamInfo<ChaosParam> &info) {
+        return std::string(policyKindName(info.param.policy)) +
+               "_seed" + std::to_string(info.param.seed);
+    });
+
+} // namespace
+} // namespace latr

@@ -1,0 +1,205 @@
+// Unit tests for the memory-touch / page-fault path.
+
+#include <gtest/gtest.h>
+
+#include "vm/fault.hh"
+
+namespace latr
+{
+namespace
+{
+
+struct FaultFixture : public ::testing::Test
+{
+    FaultFixture()
+        : frames(2, 256), mm(1, 0, frames), tlb(0, 8, 16)
+    {
+        base = mm.mmapRegion(16 * kPageSize, kProtRead | kProtWrite);
+        ro = mm.mmapRegion(2 * kPageSize, kProtRead);
+    }
+
+    TouchResult
+    touch(Addr addr, bool write, CoreId core = 0, NodeId node = 0)
+    {
+        return touchPage(core, node, mm, tlb, cost, addr, write,
+                         hooks);
+    }
+
+    FrameAllocator frames;
+    AddressSpace mm;
+    Tlb tlb;
+    CostModel cost;
+    TouchHooks hooks;
+    Addr base = 0;
+    Addr ro = 0;
+};
+
+TEST_F(FaultFixture, FirstTouchDemandFaults)
+{
+    TouchResult r = touch(base, true);
+    EXPECT_EQ(r.kind, TouchKind::MinorFault);
+    EXPECT_NE(r.pfn, kPfnInvalid);
+    EXPECT_GE(r.latency, cost.minorFault);
+    EXPECT_EQ(mm.pageTable().presentPages(), 1u);
+    EXPECT_EQ(frames.allocatedFrames(), 1u);
+}
+
+TEST_F(FaultFixture, SecondTouchHitsTlb)
+{
+    touch(base, true);
+    TouchResult r = touch(base, false);
+    EXPECT_EQ(r.kind, TouchKind::TlbHit);
+    EXPECT_EQ(r.latency, cost.memAccess);
+}
+
+TEST_F(FaultFixture, DemandAllocationLandsOnTouchingNode)
+{
+    TouchResult r = touch(base, true, /*core=*/0, /*node=*/1);
+    EXPECT_EQ(frames.nodeOf(r.pfn), 1u);
+}
+
+TEST_F(FaultFixture, WalkHitAfterTlbInvalidation)
+{
+    TouchResult first = touch(base, true);
+    tlb.invalidatePage(pageOf(base), 0);
+    TouchResult r = touch(base, false);
+    EXPECT_EQ(r.kind, TouchKind::WalkHit);
+    EXPECT_EQ(r.pfn, first.pfn);
+    // And the entry is cached again.
+    EXPECT_EQ(touch(base, false).kind, TouchKind::TlbHit);
+}
+
+TEST_F(FaultFixture, L2HitReported)
+{
+    // Fill past the 8-entry L1 so early entries spill into L2.
+    for (unsigned p = 0; p < 12; ++p)
+        touch(base + p * kPageSize, true);
+    bool saw_l2 = false;
+    for (unsigned p = 0; p < 12; ++p) {
+        TouchResult r = touch(base + p * kPageSize, false);
+        saw_l2 |= r.kind == TouchKind::TlbL2Hit;
+    }
+    EXPECT_TRUE(saw_l2);
+}
+
+TEST_F(FaultFixture, UnmappedAddressSegfaults)
+{
+    TouchResult r = touch(0x100, false);
+    EXPECT_EQ(r.kind, TouchKind::SegFault);
+    EXPECT_TRUE(r.faulted());
+}
+
+TEST_F(FaultFixture, WriteToReadOnlyVmaSegfaults)
+{
+    EXPECT_EQ(touch(ro, false).kind, TouchKind::MinorFault);
+    EXPECT_EQ(touch(ro, true).kind, TouchKind::SegFault);
+}
+
+TEST_F(FaultFixture, StaleTlbEntryStillServesAccesses)
+{
+    // The section 4.4 race window: after the OS unmaps a page but
+    // before this core's TLB entry dies, touches keep hitting the
+    // old frame.
+    TouchResult first = touch(base, true);
+    mm.munmapRegion(base, kPageSize); // PTE gone; TLB entry remains
+    TouchResult r = touch(base, true);
+    EXPECT_EQ(r.kind, TouchKind::TlbHit);
+    EXPECT_EQ(r.pfn, first.pfn);
+    // Once the entry is swept, the same touch faults.
+    tlb.invalidatePage(pageOf(base), 0);
+    EXPECT_EQ(touch(base, true).kind, TouchKind::SegFault);
+}
+
+TEST_F(FaultFixture, MadvisedPageRefaultsFresh)
+{
+    TouchResult first = touch(base, true);
+    mm.madviseRegion(base, kPageSize);
+    tlb.invalidatePage(pageOf(base), 0);
+    TouchResult r = touch(base, true);
+    EXPECT_EQ(r.kind, TouchKind::MinorFault); // VMA survived
+    EXPECT_NE(r.pfn, kPfnInvalid);
+    EXPECT_NE(r.pfn, first.pfn); // old frame still unreclaimed
+}
+
+TEST_F(FaultFixture, MinorFaultHookChargesExtra)
+{
+    hooks.onMinorFault = [](Vpn) { return Duration(12345); };
+    TouchResult r = touch(base, true);
+    EXPECT_GE(r.latency, 12345u);
+}
+
+TEST_F(FaultFixture, NumaHintFaultInvokesHookAndRetries)
+{
+    touch(base, true);
+    tlb.invalidatePage(pageOf(base), 0);
+    mm.pageTable().setFlags(pageOf(base), kPteProtNone);
+
+    int hook_calls = 0;
+    hooks.onNumaHintFault = [&](Vpn vpn, CoreId) -> Duration {
+        ++hook_calls;
+        mm.pageTable().clearFlags(vpn, kPteProtNone);
+        return 777;
+    };
+    TouchResult r = touch(base, false);
+    EXPECT_EQ(r.kind, TouchKind::NumaFault);
+    EXPECT_EQ(hook_calls, 1);
+    EXPECT_GE(r.latency, cost.minorFault + 777);
+    // Resolved: next touch hits the TLB.
+    EXPECT_EQ(touch(base, false).kind, TouchKind::TlbHit);
+}
+
+TEST_F(FaultFixture, NumaHintFaultUnresolvedDoesNotInsertTlb)
+{
+    touch(base, true);
+    tlb.invalidatePage(pageOf(base), 0);
+    mm.pageTable().setFlags(pageOf(base), kPteProtNone);
+    hooks.onNumaHintFault = [](Vpn, CoreId) -> Duration {
+        return 0; // declines to resolve
+    };
+    TouchResult r = touch(base, false);
+    EXPECT_EQ(r.kind, TouchKind::NumaFault);
+    EXPECT_FALSE(tlb.probe(pageOf(base), 0));
+}
+
+TEST_F(FaultFixture, CowWriteInvokesHook)
+{
+    touch(base, true);
+    tlb.invalidatePage(pageOf(base), 0);
+    mm.markCowRegion(base, kPageSize);
+
+    hooks.onCowWrite = [&](Vpn vpn, CoreId) -> Duration {
+        Pte *pte = mm.pageTable().find(vpn);
+        pte->flags |= kPteWrite;
+        pte->flags &= static_cast<std::uint8_t>(~kPteCow);
+        return 999;
+    };
+    TouchResult r = touch(base, true);
+    EXPECT_EQ(r.kind, TouchKind::CowBreak);
+    EXPECT_GE(r.latency, 999u);
+    EXPECT_EQ(touch(base, true).kind, TouchKind::TlbHit);
+}
+
+TEST_F(FaultFixture, CowReadDoesNotBreak)
+{
+    touch(base, true);
+    tlb.invalidatePage(pageOf(base), 0);
+    mm.markCowRegion(base, kPageSize);
+    bool hook_ran = false;
+    hooks.onCowWrite = [&](Vpn, CoreId) -> Duration {
+        hook_ran = true;
+        return 0;
+    };
+    TouchResult r = touch(base, false);
+    EXPECT_EQ(r.kind, TouchKind::WalkHit);
+    EXPECT_FALSE(hook_ran);
+}
+
+TEST_F(FaultFixture, ResidencyAndSharersRecorded)
+{
+    touch(base, true, /*core=*/0);
+    EXPECT_TRUE(mm.residencyMask().test(0));
+    EXPECT_TRUE(mm.sharersOf(pageOf(base)).test(0));
+}
+
+} // namespace
+} // namespace latr

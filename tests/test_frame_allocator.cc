@@ -1,0 +1,179 @@
+// Unit tests for the physical frame allocator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/frame_allocator.hh"
+
+namespace latr
+{
+namespace
+{
+
+class CountingListener : public FrameListener
+{
+  public:
+    void onFrameAlloc(Pfn) override { ++allocs; }
+    void onFrameFree(Pfn) override { ++frees; }
+
+    int allocs = 0;
+    int frees = 0;
+};
+
+TEST(FrameAllocator, AllocPrefersRequestedNode)
+{
+    FrameAllocator fa(2, 100);
+    Pfn a = fa.alloc(0);
+    Pfn b = fa.alloc(1);
+    EXPECT_EQ(fa.nodeOf(a), 0u);
+    EXPECT_EQ(fa.nodeOf(b), 1u);
+}
+
+TEST(FrameAllocator, AllocStartsWithRefcountOne)
+{
+    FrameAllocator fa(1, 10);
+    Pfn a = fa.alloc(0);
+    EXPECT_EQ(fa.refcount(a), 1u);
+    EXPECT_EQ(fa.allocatedFrames(), 1u);
+}
+
+TEST(FrameAllocator, PutReturnsFrameToPool)
+{
+    FrameAllocator fa(1, 10);
+    Pfn a = fa.alloc(0);
+    EXPECT_EQ(fa.freeFrames(0), 9u);
+    fa.put(a);
+    EXPECT_EQ(fa.freeFrames(0), 10u);
+    EXPECT_EQ(fa.refcount(a), 0u);
+    EXPECT_EQ(fa.allocatedFrames(), 0u);
+}
+
+TEST(FrameAllocator, GetPutRefcounting)
+{
+    FrameAllocator fa(1, 10);
+    Pfn a = fa.alloc(0);
+    fa.get(a);
+    fa.get(a);
+    EXPECT_EQ(fa.refcount(a), 3u);
+    fa.put(a);
+    fa.put(a);
+    EXPECT_EQ(fa.refcount(a), 1u);
+    EXPECT_EQ(fa.freeFrames(0), 9u); // still allocated
+    fa.put(a);
+    EXPECT_EQ(fa.freeFrames(0), 10u);
+}
+
+TEST(FrameAllocator, FallsBackToOtherNodesWhenExhausted)
+{
+    FrameAllocator fa(2, 2);
+    fa.alloc(0);
+    fa.alloc(0);
+    Pfn c = fa.alloc(0); // node 0 empty; falls back to node 1
+    EXPECT_NE(c, kPfnInvalid);
+    EXPECT_EQ(fa.nodeOf(c), 1u);
+}
+
+TEST(FrameAllocator, ReturnsInvalidWhenFullyExhausted)
+{
+    FrameAllocator fa(2, 1);
+    EXPECT_NE(fa.alloc(0), kPfnInvalid);
+    EXPECT_NE(fa.alloc(0), kPfnInvalid);
+    EXPECT_EQ(fa.alloc(0), kPfnInvalid);
+}
+
+TEST(FrameAllocator, FramesAreUniqueWhileHeld)
+{
+    FrameAllocator fa(2, 50);
+    std::set<Pfn> seen;
+    for (int i = 0; i < 100; ++i) {
+        Pfn p = fa.alloc(i % 2);
+        EXPECT_TRUE(seen.insert(p).second) << "duplicate frame " << p;
+    }
+}
+
+TEST(FrameAllocator, FreedFrameIsReusable)
+{
+    FrameAllocator fa(1, 1);
+    Pfn a = fa.alloc(0);
+    fa.put(a);
+    Pfn b = fa.alloc(0);
+    EXPECT_EQ(a, b);
+}
+
+TEST(FrameAllocator, ListenerSeesLifecycle)
+{
+    FrameAllocator fa(1, 10);
+    CountingListener listener;
+    fa.setListener(&listener);
+    Pfn a = fa.alloc(0);
+    fa.get(a);
+    fa.put(a); // refcount 1: no free event
+    EXPECT_EQ(listener.allocs, 1);
+    EXPECT_EQ(listener.frees, 0);
+    fa.put(a);
+    EXPECT_EQ(listener.frees, 1);
+}
+
+TEST(FrameAllocator, NodeOfPartitionsTheSpace)
+{
+    FrameAllocator fa(4, 100);
+    EXPECT_EQ(fa.nodeOf(0), 0u);
+    EXPECT_EQ(fa.nodeOf(99), 0u);
+    EXPECT_EQ(fa.nodeOf(100), 1u);
+    EXPECT_EQ(fa.nodeOf(399), 3u);
+}
+
+TEST(FrameAllocatorDeath, PutOnFreeFramePanics)
+{
+    FrameAllocator fa(1, 4);
+    Pfn a = fa.alloc(0);
+    fa.put(a);
+    EXPECT_DEATH(fa.put(a), "free frame");
+}
+
+TEST(FrameAllocatorDeath, GetOnFreeFramePanics)
+{
+    FrameAllocator fa(1, 4);
+    EXPECT_DEATH(fa.get(0), "free frame");
+}
+
+TEST(FrameAllocatorDeath, OutOfRangePfnPanics)
+{
+    FrameAllocator fa(1, 4);
+    EXPECT_DEATH(fa.refcount(100), "out of range");
+}
+
+class AllocatorChurn : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AllocatorChurn, AllocFreeBalanceHoldsUnderChurn)
+{
+    const unsigned nodes = GetParam();
+    FrameAllocator fa(nodes, 64);
+    std::vector<Pfn> held;
+    // Deterministic churn pattern.
+    for (int round = 0; round < 500; ++round) {
+        if (round % 3 != 2) {
+            Pfn p = fa.alloc(round % nodes);
+            if (p != kPfnInvalid)
+                held.push_back(p);
+        } else if (!held.empty()) {
+            fa.put(held.back());
+            held.pop_back();
+        }
+    }
+    EXPECT_EQ(fa.allocatedFrames(), held.size());
+    std::uint64_t free_total = 0;
+    for (unsigned n = 0; n < nodes; ++n)
+        free_total += fa.freeFrames(n);
+    EXPECT_EQ(free_total + held.size(),
+              static_cast<std::uint64_t>(nodes) * 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, AllocatorChurn,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+} // namespace
+} // namespace latr

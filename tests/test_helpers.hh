@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the test suite: small machine configurations
+ * (full-size presets are slow to construct in the inner loop of
+ * property tests) and convenience wrappers.
+ */
+
+#ifndef LATR_TESTS_TEST_HELPERS_HH_
+#define LATR_TESTS_TEST_HELPERS_HH_
+
+#include "machine/machine.hh"
+#include "topo/machine_config.hh"
+
+namespace latr::test
+{
+
+/** A small 2-socket machine for fast unit/property tests. */
+inline MachineConfig
+tinyConfig(unsigned sockets = 2, unsigned cores_per_socket = 4)
+{
+    MachineConfig cfg = MachineConfig::commodity2S16C();
+    cfg.name = "tiny";
+    cfg.sockets = sockets;
+    cfg.coresPerSocket = cores_per_socket;
+    cfg.framesPerNode = 16 * 1024; // 64 MiB per node
+    cfg.llcBytesPerSocket = 1 * 1024 * 1024;
+    return cfg;
+}
+
+/** Touch every page of [addr, addr+len). @return summed latency. */
+inline Duration
+touchRange(Kernel &kernel, Task *task, Addr addr, std::uint64_t len,
+           bool write = true)
+{
+    Duration d = 0;
+    const std::uint64_t pages = pagesSpanned(addr, len);
+    for (std::uint64_t p = 0; p < pages; ++p)
+        d += kernel.touch(task, addr + p * kPageSize, write).latency;
+    return d;
+}
+
+} // namespace latr::test
+
+#endif // LATR_TESTS_TEST_HELPERS_HH_

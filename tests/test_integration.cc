@@ -1,0 +1,303 @@
+// End-to-end integration tests: full machines running mixed
+// workloads, checking the cross-policy orderings the paper predicts
+// and that the invariant holds everywhere.
+
+#include <gtest/gtest.h>
+
+#include "numa/autonuma.hh"
+#include "numa/compaction.hh"
+#include "numa/khugepaged.hh"
+#include "test_helpers.hh"
+#include "workload/microbench.hh"
+#include "workload/numabench.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(Integration, MunmapLatencyOrderingAcrossPolicies)
+{
+    // Per the paper: LATR < {Barrelfish} < Linux for a shared-page
+    // munmap (Barrelfish avoids interrupts but still waits; ABIS
+    // avoids IPIs entirely here but pays the scan).
+    MunmapMicrobenchConfig cfg;
+    cfg.sharingCores = 8;
+    cfg.pages = 1;
+    cfg.iterations = 40;
+    cfg.warmupIterations = 4;
+
+    auto run = [&](PolicyKind kind) {
+        Machine machine(test::tinyConfig(), kind);
+        MunmapMicrobenchResult r = runMunmapMicrobench(machine, cfg);
+        EXPECT_EQ(machine.checker()->violations(), 0u)
+            << policyKindName(kind);
+        return r.munmapMeanNs;
+    };
+
+    const double linux_ns = run(PolicyKind::LinuxSync);
+    const double latr_ns = run(PolicyKind::Latr);
+    const double bf_ns = run(PolicyKind::Barrelfish);
+
+    EXPECT_LT(latr_ns, bf_ns);
+    EXPECT_LT(bf_ns, linux_ns);
+    // Figure 6's headline: LATR improves munmap by ~70%.
+    EXPECT_LT(latr_ns, 0.55 * linux_ns);
+}
+
+TEST(Integration, LargeNumaMachineAmplifiesTheGap)
+{
+    // Figure 7: the 8-socket machine makes Linux shootdowns brutal
+    // while LATR's cost stays flat.
+    MunmapMicrobenchConfig cfg;
+    cfg.sharingCores = 120;
+    cfg.pages = 1;
+    cfg.iterations = 15;
+    cfg.warmupIterations = 2;
+
+    Machine linux_machine(MachineConfig::largeNuma8S120C(),
+                          PolicyKind::LinuxSync);
+    MunmapMicrobenchResult linux_r =
+        runMunmapMicrobench(linux_machine, cfg);
+
+    Machine latr_machine(MachineConfig::largeNuma8S120C(),
+                         PolicyKind::Latr);
+    MunmapMicrobenchResult latr_r =
+        runMunmapMicrobench(latr_machine, cfg);
+
+    // Linux blows past 60 us; LATR stays in the tens.
+    EXPECT_GT(linux_r.munmapMeanNs, 60000.0);
+    EXPECT_LT(latr_r.munmapMeanNs, 0.5 * linux_r.munmapMeanNs);
+}
+
+TEST(Integration, TicklessConfigStillReclaims)
+{
+    MachineConfig cfg = test::tinyConfig();
+    cfg.ticklessIdle = true;
+    Machine machine(cfg, PolicyKind::Latr);
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("app");
+    Task *t0 = kernel.spawnTask(p, 0);
+    Task *t1 = kernel.spawnTask(p, 1);
+    machine.run(kUsec);
+
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    kernel.munmap(t0, m.addr, kPageSize);
+    // Core 1 then goes idle before its tick — the context-switch
+    // sweep on task removal must clear its CPU bit anyway.
+    kernel.exitTask(t1);
+    machine.run(6 * kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST(Integration, ConcurrentMunmapsFromManyCores)
+{
+    Machine machine(test::tinyConfig(), PolicyKind::Latr);
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("app");
+    std::vector<Task *> tasks;
+    for (CoreId c = 0; c < machine.topo().totalCores(); ++c)
+        tasks.push_back(kernel.spawnTask(p, c));
+    machine.run(kUsec);
+
+    // Every core maps, shares, and unmaps its own region, repeatedly
+    // and interleaved.
+    for (int round = 0; round < 6; ++round) {
+        std::vector<Addr> addrs;
+        for (Task *t : tasks) {
+            SyscallResult m = kernel.mmap(t, 2 * kPageSize,
+                                          kProtRead | kProtWrite);
+            ASSERT_TRUE(m.ok);
+            addrs.push_back(m.addr);
+            test::touchRange(kernel, t, m.addr, 2 * kPageSize);
+            // A neighbor shares it.
+            Task *peer = tasks[(t->core() + 1) % tasks.size()];
+            test::touchRange(kernel, peer, m.addr, 2 * kPageSize,
+                             false);
+        }
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            kernel.munmap(tasks[i], addrs[i], 2 * kPageSize);
+        machine.run(500 * kUsec);
+    }
+    machine.run(8 * kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+    EXPECT_EQ(machine.stats().counterValue("latr.fallback_ipis"), 0u);
+}
+
+TEST(Integration, AutoNumaEndToEndUnderLatr)
+{
+    NumaBenchProfile profile = numaBenchSuite()[0]; // fluidanimate
+    profile.arrayPages = 512;
+    profile.itersPerCore = 60;
+    profile.scanInterval = 2 * kMsec;
+    profile.pagesPerScan = 64;
+
+    Machine machine(test::tinyConfig(), PolicyKind::Latr);
+    NumaBenchResult r = runNumaBench(machine, profile, 8);
+    EXPECT_GT(r.runtimeNs, 0u);
+    EXPECT_GT(r.samples, 0u);
+    machine.run(8 * kMsec);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST(Integration, CompactionEnablesHugePromotion)
+{
+    // The paper's section 7 story end to end: fragmentation defeats
+    // a huge-page collapse; compaction repairs the fragmentation;
+    // the collapse then succeeds.
+    MachineConfig cfg = test::tinyConfig();
+    cfg.framesPerNode = 2048;
+    Machine machine(cfg, PolicyKind::Latr);
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("app");
+    Task *t0 = kernel.spawnTask(p, 0);
+    machine.run(kUsec);
+
+    // Fragment node 0: fault the whole node (frames hand out in
+    // ascending order), then free everything except one pinned page
+    // inside each 512-frame aligned run.
+    SyscallResult burn =
+        kernel.mmap(t0, 2000 * kPageSize, kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, burn.addr, 2000 * kPageSize);
+    const std::uint64_t pins[] = {100, 612, 1124, 1636};
+    std::uint64_t cursor = 0;
+    for (std::uint64_t pin : pins) {
+        kernel.madvise(t0, burn.addr + cursor * kPageSize,
+                       (pin - cursor) * kPageSize);
+        cursor = pin + 1;
+    }
+    kernel.madvise(t0, burn.addr + cursor * kPageSize,
+                   (2000 - cursor) * kPageSize);
+    machine.run(8 * kMsec);
+    ASSERT_EQ(machine.frames().allocHuge(0), kPfnInvalid);
+
+    // A fully faulted aligned region cannot collapse yet.
+    SyscallResult m =
+        kernel.mmap(t0, 3 * kHugePageSize, kProtRead | kProtWrite);
+    Addr region =
+        (m.addr + kHugePageSize - 1) & ~(kHugePageSize - 1);
+    for (std::uint64_t pg = 0; pg < kHugePageSpan; ++pg)
+        kernel.touch(t0, region + pg * kPageSize, true);
+
+    Khugepaged thp(kernel, 3 * kMsec, 2);
+    thp.track(p);
+    thp.start();
+    machine.run(7 * kMsec);
+    EXPECT_EQ(thp.stats().promotions, 0u); // no contiguous run free
+
+    // Compaction packs the stragglers low, opening a high run.
+    CompactionDaemon compactor(kernel, 0, 3 * kMsec, 64);
+    compactor.track(p);
+    compactor.start();
+    machine.run(60 * kMsec);
+    compactor.stop();
+
+    machine.run(20 * kMsec); // khugepaged keeps scanning
+    thp.stop();
+    EXPECT_GE(thp.stats().promotions, 1u);
+    EXPECT_NE(p->mm().pageTable().findHuge(pageOf(region)), nullptr);
+    machine.run(8 * kMsec);
+    EXPECT_EQ(machine.checker()->violations(), 0u)
+        << machine.checker()->firstViolation();
+}
+
+TEST(Integration, SweepAtSwitchDisabledStillReclaimsViaTicks)
+{
+    MachineConfig cfg = test::tinyConfig();
+    cfg.latrSweepAtContextSwitch = false;
+    Machine machine(cfg, PolicyKind::Latr);
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("app");
+    Task *t0 = kernel.spawnTask(p, 0);
+    Task *t1 = kernel.spawnTask(p, 1);
+    machine.run(kUsec);
+
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    kernel.munmap(t0, m.addr, kPageSize);
+    // A context switch on core 1 does NOT sweep in this mode...
+    machine.scheduler().contextSwitch(1);
+    EXPECT_TRUE(machine.scheduler().tlbOf(1).probe(pageOf(m.addr), 0));
+    // ...but the tick still does, and reclamation completes.
+    machine.run(6 * kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST(Integration, TimeOnlyReclaimSafeAtPaperDelay)
+{
+    // The paper's pure time-bound reclamation with the paper's 2 ms
+    // delay: never unsafe (the ablation bench shows 0.5 ms IS).
+    MachineConfig cfg = test::tinyConfig();
+    cfg.latrTimeOnlyReclaim = true;
+    Machine machine(cfg, PolicyKind::Latr);
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("app");
+    Task *t0 = kernel.spawnTask(p, 0);
+    Task *t1 = kernel.spawnTask(p, 1);
+    machine.run(kUsec);
+    for (int i = 0; i < 30; ++i) {
+        SyscallResult m = kernel.mmap(t0, kPageSize,
+                                      kProtRead | kProtWrite);
+        test::touchRange(kernel, t1, m.addr, kPageSize);
+        kernel.munmap(t0, m.addr, kPageSize);
+        machine.run(80 * kUsec);
+    }
+    machine.run(8 * kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST(Integration, TimeOnlyReclaimUnsafeBelowTwoTicks)
+{
+    // And with half a tick it demonstrably breaks — the empirical
+    // core of the paper's two-tick-period argument.
+    MachineConfig cfg = test::tinyConfig();
+    cfg.latrTimeOnlyReclaim = true;
+    cfg.cost.latrReclaimDelay = kMsec / 2;
+    Machine machine(cfg, PolicyKind::Latr);
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("app");
+    Task *t0 = kernel.spawnTask(p, 0);
+    std::vector<Task *> sharers;
+    for (CoreId c = 1; c < machine.topo().totalCores(); ++c)
+        sharers.push_back(kernel.spawnTask(p, c));
+    machine.run(kUsec);
+    for (int i = 0; i < 40; ++i) {
+        SyscallResult m = kernel.mmap(t0, kPageSize,
+                                      kProtRead | kProtWrite);
+        for (Task *t : sharers)
+            kernel.touch(t, m.addr, false);
+        kernel.munmap(t0, m.addr, kPageSize);
+        machine.run(60 * kUsec);
+    }
+    machine.run(8 * kMsec);
+    EXPECT_GT(machine.checker()->violations(), 0u);
+}
+
+TEST(Integration, StatsDumpIsComprehensive)
+{
+    Machine machine(test::tinyConfig(), PolicyKind::Latr);
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("app");
+    Task *t0 = kernel.spawnTask(p, 0);
+    Task *t1 = kernel.spawnTask(p, 1);
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    kernel.munmap(t0, m.addr, kPageSize);
+    machine.run(6 * kMsec);
+    std::string dump = machine.stats().dump();
+    EXPECT_NE(dump.find("latr.states_saved"), std::string::npos);
+    EXPECT_NE(dump.find("latr.sweeps"), std::string::npos);
+    EXPECT_NE(dump.find("latr.reclaimed_pages"), std::string::npos);
+    EXPECT_NE(dump.find("sys.munmap"), std::string::npos);
+}
+
+} // namespace
+} // namespace latr

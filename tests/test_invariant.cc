@@ -1,0 +1,92 @@
+// Tests for the reuse-invariant checker itself.
+
+#include <gtest/gtest.h>
+
+#include "tlbcoh/invariant.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(Invariant, CleanSequencesReportNothing)
+{
+    InvariantChecker c;
+    c.onFrameAlloc(7);
+    c.onTlbInsert(0, 100, 7, 0);
+    c.onTlbRemove(0, 100, 7, 0);
+    c.onFrameFree(7);
+    c.onFrameAlloc(7);
+    EXPECT_EQ(c.violations(), 0u);
+    EXPECT_TRUE(c.firstViolation().empty());
+}
+
+TEST(Invariant, FreeWhileMappedIsFlagged)
+{
+    InvariantChecker c;
+    c.onFrameAlloc(7);
+    c.onTlbInsert(0, 100, 7, 0);
+    c.onFrameFree(7);
+    EXPECT_EQ(c.violations(), 1u);
+    EXPECT_NE(c.firstViolation().find("freed"), std::string::npos);
+}
+
+TEST(Invariant, ReallocWhileMappedIsFlagged)
+{
+    InvariantChecker c;
+    c.onTlbInsert(0, 100, 7, 0);
+    c.onFrameAlloc(7);
+    EXPECT_EQ(c.violations(), 1u);
+    EXPECT_NE(c.firstViolation().find("allocated"),
+              std::string::npos);
+}
+
+TEST(Invariant, RefsCountAcrossCores)
+{
+    InvariantChecker c;
+    c.onTlbInsert(0, 100, 7, 0);
+    c.onTlbInsert(1, 100, 7, 0);
+    c.onTlbInsert(2, 200, 7, 0); // another vpn, same frame
+    EXPECT_EQ(c.tlbRefs(7), 3u);
+    c.onTlbRemove(1, 100, 7, 0);
+    EXPECT_EQ(c.tlbRefs(7), 2u);
+    EXPECT_EQ(c.mirroredEntries(), 2u);
+}
+
+TEST(Invariant, FirstViolationIsKept)
+{
+    InvariantChecker c;
+    c.onTlbInsert(0, 100, 7, 0);
+    c.onFrameFree(7);
+    std::string first = c.firstViolation();
+    c.onFrameFree(7);
+    EXPECT_EQ(c.violations(), 2u);
+    EXPECT_EQ(c.firstViolation(), first);
+}
+
+TEST(Invariant, ResetClearsState)
+{
+    InvariantChecker c;
+    c.onTlbInsert(0, 100, 7, 0);
+    c.onFrameFree(7);
+    c.reset();
+    EXPECT_EQ(c.violations(), 0u);
+    EXPECT_EQ(c.tlbRefs(7), 0u);
+    EXPECT_EQ(c.mirroredEntries(), 0u);
+}
+
+TEST(InvariantDeath, StrictModePanicsImmediately)
+{
+    InvariantChecker c(/*strict=*/true);
+    c.onTlbInsert(0, 100, 7, 0);
+    EXPECT_DEATH(c.onFrameFree(7), "reuse invariant");
+}
+
+TEST(InvariantDeath, UntrackedRemoveIsASimulatorBug)
+{
+    InvariantChecker c;
+    EXPECT_DEATH(c.onTlbRemove(0, 100, 7, 0), "untracked");
+}
+
+} // namespace
+} // namespace latr

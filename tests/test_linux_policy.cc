@@ -1,0 +1,172 @@
+// Tests for the Linux synchronous-IPI baseline policy.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace latr
+{
+namespace
+{
+
+struct LinuxFixture : public ::testing::Test
+{
+    LinuxFixture()
+        : machine(test::tinyConfig(), PolicyKind::LinuxSync),
+          kernel(machine.kernel())
+    {
+        process = kernel.createProcess("app");
+        t0 = kernel.spawnTask(process, 0);
+        t1 = kernel.spawnTask(process, 1);
+        t4 = kernel.spawnTask(process, 4); // other socket
+    }
+
+    Machine machine;
+    Kernel &kernel;
+    Process *process = nullptr;
+    Task *t0 = nullptr;
+    Task *t1 = nullptr;
+    Task *t4 = nullptr;
+};
+
+TEST_F(LinuxFixture, MunmapWaitsForAcks)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    test::touchRange(kernel, t4, m.addr, kPageSize);
+
+    SyscallResult u = kernel.munmap(t0, m.addr, kPageSize);
+    // Cross-socket ACK wait: at least one IPI delivery (~2.7 us).
+    EXPECT_GT(u.shootdown, 2 * kUsec);
+    EXPECT_GT(machine.ipi().ipisSent(), 0u);
+}
+
+TEST_F(LinuxFixture, MunmapWithNoRemoteResidencySkipsIpis)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    const std::uint64_t ipis_before = machine.ipi().ipisSent();
+    SyscallResult u = kernel.munmap(t0, m.addr, kPageSize);
+    EXPECT_TRUE(u.ok);
+    // Only cores 1 and 4 are resident (they ran tasks); they never
+    // touched this page but are still IPI'd (Linux targets the whole
+    // mm residency). Their count is what it is — but if we retarget
+    // to a single-core process, no IPI at all:
+    Process *solo = kernel.createProcess("solo");
+    Task *st = kernel.spawnTask(solo, 2);
+    SyscallResult sm = kernel.mmap(st, kPageSize,
+                                   kProtRead | kProtWrite);
+    test::touchRange(kernel, st, sm.addr, kPageSize);
+    const std::uint64_t before2 = machine.ipi().ipisSent();
+    SyscallResult su = kernel.munmap(st, sm.addr, kPageSize);
+    EXPECT_EQ(machine.ipi().ipisSent(), before2);
+    EXPECT_LT(su.shootdown, kUsec);
+    (void)ipis_before;
+    (void)u;
+}
+
+TEST_F(LinuxFixture, RemoteTlbEntriesDieAtDelivery)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    ASSERT_TRUE(machine.scheduler().tlbOf(1).probe(pageOf(m.addr), 0));
+    kernel.munmap(t0, m.addr, kPageSize);
+    // Events have not run yet: the entry may still be there. After
+    // running past the delivery, it must be gone.
+    machine.run(100 * kUsec);
+    EXPECT_FALSE(machine.scheduler().tlbOf(1).probe(pageOf(m.addr), 0));
+}
+
+TEST_F(LinuxFixture, FramesFreeOnlyAfterCompletion)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t4, m.addr, kPageSize);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 1u);
+    kernel.munmap(t0, m.addr, kPageSize);
+    // Frame still held until the ACKs land (free is event-driven).
+    EXPECT_EQ(machine.frames().allocatedFrames(), 1u);
+    machine.run(100 * kUsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(LinuxFixture, RemoteHandlersStealTime)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    machine.scheduler().takeStolen(1);
+    kernel.munmap(t0, m.addr, kPageSize);
+    machine.run(100 * kUsec);
+    // Core 1 paid interrupt time (at least the fixed handler cost).
+    EXPECT_GE(machine.scheduler().takeStolen(1),
+              machine.config().cost.ipiHandlerFixed);
+}
+
+TEST_F(LinuxFixture, LargeUnmapUsesFullFlushOnRemotes)
+{
+    const std::uint64_t pages = 64; // above the 33-page threshold
+    SyscallResult m = kernel.mmap(t0, pages * kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, pages * kPageSize);
+    test::touchRange(kernel, t1, m.addr, pages * kPageSize);
+    const std::uint64_t flushes_before =
+        machine.scheduler().tlbOf(1).flushes();
+    kernel.munmap(t0, m.addr, pages * kPageSize);
+    machine.run(100 * kUsec);
+    EXPECT_GT(machine.scheduler().tlbOf(1).flushes(), flushes_before);
+    EXPECT_EQ(machine.scheduler().tlbOf(1).size(), 0u);
+}
+
+TEST_F(LinuxFixture, IdleCoresAreNotShotDown)
+{
+    // A task runs briefly on core 2, then exits: lazy-TLB idle mode
+    // flushed the core and dropped it from the residency mask, so a
+    // later munmap sends it nothing.
+    Task *t2 = kernel.spawnTask(process, 2);
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t2, m.addr, kPageSize);
+    kernel.exitTask(t2);
+    EXPECT_FALSE(process->mm().residencyMask().test(2));
+    // Counting IPIs per munmap: targets are cores 1 and 4 only.
+    const std::uint64_t before = machine.ipi().ipisSent();
+    kernel.munmap(t0, m.addr, kPageSize);
+    EXPECT_EQ(machine.ipi().ipisSent(), before + 2);
+}
+
+TEST_F(LinuxFixture, CapabilitiesMatchTable2)
+{
+    PolicyCapabilities caps = machine.policy().capabilities();
+    EXPECT_FALSE(caps.asynchronous);
+    EXPECT_FALSE(caps.nonIpiBased);
+    EXPECT_FALSE(caps.noRemoteCoreInvolvement);
+    EXPECT_TRUE(caps.noHardwareChanges);
+    EXPECT_FALSE(caps.lazyFreeCapable);
+}
+
+TEST_F(LinuxFixture, NumaSampleShootsDownSynchronously)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t4, m.addr, kPageSize);
+    Duration d = kernel.numaSample(t0, pageOf(m.addr));
+    EXPECT_GT(d, 2 * kUsec); // paid the IPI wait
+    EXPECT_TRUE(process->mm()
+                    .pageTable()
+                    .find(pageOf(m.addr))
+                    ->protNone());
+    machine.run(100 * kUsec);
+    EXPECT_FALSE(
+        machine.scheduler().tlbOf(4).probe(pageOf(m.addr), 0));
+}
+
+} // namespace
+} // namespace latr

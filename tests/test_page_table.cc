@@ -1,0 +1,187 @@
+// Unit tests for the 4-level page table.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/page_table.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(PageTable, MapThenFind)
+{
+    PageTable pt;
+    pt.map(100, 7, kPteWrite);
+    const Pte *pte = pt.find(100);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_EQ(pte->pfn, 7u);
+    EXPECT_TRUE(pte->present());
+    EXPECT_TRUE(pte->writable());
+    EXPECT_EQ(pt.presentPages(), 1u);
+}
+
+TEST(PageTable, FindMissingReturnsNull)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.find(100), nullptr);
+    pt.map(100, 7, 0);
+    EXPECT_EQ(pt.find(101), nullptr);
+}
+
+TEST(PageTable, UnmapReturnsOldPte)
+{
+    PageTable pt;
+    pt.map(100, 7, kPteWrite);
+    Pte old = pt.unmap(100);
+    EXPECT_TRUE(old.present());
+    EXPECT_EQ(old.pfn, 7u);
+    EXPECT_EQ(pt.find(100), nullptr);
+    EXPECT_EQ(pt.presentPages(), 0u);
+}
+
+TEST(PageTable, UnmapMissingIsEmptyPte)
+{
+    PageTable pt;
+    Pte old = pt.unmap(12345);
+    EXPECT_FALSE(old.present());
+}
+
+TEST(PageTable, RemapAfterUnmapWorks)
+{
+    PageTable pt;
+    pt.map(100, 7, 0);
+    pt.unmap(100);
+    pt.map(100, 9, 0);
+    EXPECT_EQ(pt.find(100)->pfn, 9u);
+}
+
+TEST(PageTableDeath, DoubleMapPanics)
+{
+    PageTable pt;
+    pt.map(100, 7, 0);
+    EXPECT_DEATH(pt.map(100, 8, 0), "double map");
+}
+
+TEST(PageTable, WalkSetsAccessedAndDirty)
+{
+    PageTable pt;
+    pt.map(100, 7, kPteWrite);
+    Pte *pte = pt.walkHardware(100, false);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->accessed());
+    EXPECT_FALSE(pte->dirty());
+    pt.walkHardware(100, true);
+    EXPECT_TRUE(pte->dirty());
+}
+
+TEST(PageTable, WalkDoesNotDirtyReadOnlyPages)
+{
+    PageTable pt;
+    pt.map(100, 7, 0); // not writable
+    Pte *pte = pt.walkHardware(100, true);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_FALSE(pte->dirty());
+}
+
+TEST(PageTable, WalkSkipsAccessedOnProtNone)
+{
+    PageTable pt;
+    pt.map(100, 7, kPteProtNone);
+    Pte *pte = pt.walkHardware(100, false);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_FALSE(pte->accessed());
+}
+
+TEST(PageTable, SetAndClearFlags)
+{
+    PageTable pt;
+    pt.map(100, 7, 0);
+    pt.setFlags(100, kPteProtNone | kPteCow);
+    EXPECT_TRUE(pt.find(100)->protNone());
+    EXPECT_TRUE(pt.find(100)->cow());
+    pt.clearFlags(100, kPteProtNone);
+    EXPECT_FALSE(pt.find(100)->protNone());
+    EXPECT_TRUE(pt.find(100)->cow());
+}
+
+TEST(PageTable, SparseVpnsFarApart)
+{
+    PageTable pt;
+    // Indices exercising different top-level slots.
+    const std::vector<Vpn> vpns = {0, 511, 512, 1ULL << 18,
+                                   1ULL << 27, (1ULL << 36) - 1};
+    Pfn pfn = 100;
+    for (Vpn v : vpns)
+        pt.map(v, pfn++, 0);
+    pfn = 100;
+    for (Vpn v : vpns) {
+        ASSERT_NE(pt.find(v), nullptr) << v;
+        EXPECT_EQ(pt.find(v)->pfn, pfn++);
+    }
+    EXPECT_EQ(pt.presentPages(), vpns.size());
+}
+
+TEST(PageTableDeath, VpnBeyondReachPanics)
+{
+    PageTable pt;
+    EXPECT_DEATH(pt.map(1ULL << 36, 1, 0), "beyond");
+}
+
+TEST(PageTable, ForEachPresentVisitsExactlyRange)
+{
+    PageTable pt;
+    for (Vpn v = 10; v < 20; ++v)
+        pt.map(v, v, 0);
+    std::vector<Vpn> seen;
+    pt.forEachPresent(12, 17, [&](Vpn v, Pte &) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<Vpn>{12, 13, 14, 15, 16, 17}));
+}
+
+TEST(PageTable, ForEachPresentSkipsHoles)
+{
+    PageTable pt;
+    pt.map(10, 1, 0);
+    pt.map(5000, 2, 0); // different leaf
+    pt.map(300000, 3, 0); // different L2 subtree
+    std::vector<Vpn> seen;
+    pt.forEachPresent(0, 1ULL << 20,
+                      [&](Vpn v, Pte &) { seen.push_back(v); });
+    EXPECT_EQ(seen, (std::vector<Vpn>{10, 5000, 300000}));
+}
+
+TEST(PageTable, ForEachPresentCanModifyFlags)
+{
+    PageTable pt;
+    for (Vpn v = 0; v < 5; ++v)
+        pt.map(v, v, kPteWrite);
+    pt.forEachPresent(0, 4, [](Vpn, Pte &pte) {
+        pte.flags |= kPteProtNone;
+    });
+    for (Vpn v = 0; v < 5; ++v)
+        EXPECT_TRUE(pt.find(v)->protNone());
+}
+
+TEST(PageTable, ForEachPresentEmptyTableIsQuiet)
+{
+    PageTable pt;
+    int count = 0;
+    pt.forEachPresent(0, 1ULL << 30, [&](Vpn, Pte &) { ++count; });
+    EXPECT_EQ(count, 0);
+}
+
+TEST(PageTable, PresentPagesTracksBulkChurn)
+{
+    PageTable pt;
+    for (Vpn v = 0; v < 1000; ++v)
+        pt.map(v * 7, v, 0);
+    EXPECT_EQ(pt.presentPages(), 1000u);
+    for (Vpn v = 0; v < 500; ++v)
+        pt.unmap(v * 7);
+    EXPECT_EQ(pt.presentPages(), 500u);
+}
+
+} // namespace
+} // namespace latr

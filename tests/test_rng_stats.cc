@@ -1,0 +1,184 @@
+// Unit tests for the RNG and the stats package.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "sim/stats.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool differed = false;
+    for (int i = 0; i < 10; ++i)
+        if (a.next() != b.next())
+            differed = true;
+    EXPECT_TRUE(differed);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.nextRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 5;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoolProbabilityEdges)
+{
+    Rng r(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+}
+
+TEST(Rng, BoolProbabilityRoughlyCalibrated)
+{
+    Rng r(13);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCalibrated)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextExponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Distribution, BasicMoments)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(2.0);
+    d.sample(3.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.sum(), 6.0);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+}
+
+TEST(Distribution, PercentilesExactForSmallStreams)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(i);
+    EXPECT_NEAR(d.percentile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(d.percentile(1.0), 100.0, 1e-9);
+    EXPECT_NEAR(d.percentile(0.5), 50.5, 1.0);
+    EXPECT_NEAR(d.percentile(0.99), 99.0, 1.1);
+}
+
+TEST(Distribution, ReservoirKeepsPercentilesPlausibleForLongStreams)
+{
+    Distribution d(1024);
+    for (int i = 0; i < 200000; ++i)
+        d.sample(i % 1000);
+    // Uniform over [0, 999]: the median should be near 500.
+    EXPECT_NEAR(d.percentile(0.5), 500.0, 60.0);
+    EXPECT_EQ(d.count(), 200000u);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Stats, RatePerSecond)
+{
+    EXPECT_DOUBLE_EQ(ratePerSecond(1000, kSec), 1000.0);
+    EXPECT_DOUBLE_EQ(ratePerSecond(1, kMsec), 1000.0);
+    EXPECT_DOUBLE_EQ(ratePerSecond(5, 0), 0.0);
+}
+
+TEST(StatRegistry, CountersPersistByName)
+{
+    StatRegistry reg;
+    reg.counter("a.b").inc(3);
+    reg.counter("a.b").inc();
+    EXPECT_EQ(reg.counterValue("a.b"), 4u);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+    EXPECT_TRUE(reg.hasCounter("a.b"));
+    EXPECT_FALSE(reg.hasCounter("missing"));
+}
+
+TEST(StatRegistry, ResetAllZeroesEverything)
+{
+    StatRegistry reg;
+    reg.counter("x").inc(7);
+    reg.distribution("d").sample(4.0);
+    reg.resetAll();
+    EXPECT_EQ(reg.counterValue("x"), 0u);
+    EXPECT_EQ(reg.distribution("d").count(), 0u);
+}
+
+TEST(StatRegistry, DumpContainsNames)
+{
+    StatRegistry reg;
+    reg.counter("alpha").inc();
+    reg.distribution("beta").sample(1.0);
+    std::string dump = reg.dump();
+    EXPECT_NE(dump.find("alpha"), std::string::npos);
+    EXPECT_NE(dump.find("beta"), std::string::npos);
+}
+
+} // namespace
+} // namespace latr

@@ -1,0 +1,115 @@
+// Unit tests for the reservation-based locks.
+
+#include <gtest/gtest.h>
+
+#include "vm/sem.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(SimMutex, UncontendedStartsImmediately)
+{
+    SimMutex m;
+    EXPECT_EQ(m.acquire(100, 50), 100u);
+    EXPECT_EQ(m.nextFree(), 150u);
+}
+
+TEST(SimMutex, ContendedWaits)
+{
+    SimMutex m;
+    m.acquire(100, 50);
+    EXPECT_EQ(m.acquire(120, 10), 150u);
+    EXPECT_EQ(m.nextFree(), 160u);
+    EXPECT_EQ(m.totalWaitNs(), 30u);
+}
+
+TEST(SimMutex, LateArrivalAfterFreeStartsImmediately)
+{
+    SimMutex m;
+    m.acquire(100, 50);
+    EXPECT_EQ(m.acquire(500, 10), 500u);
+}
+
+TEST(SimMutex, ExtendLengthensHold)
+{
+    SimMutex m;
+    m.acquire(0, 10);
+    m.extend(90);
+    EXPECT_EQ(m.acquire(0, 5), 100u);
+}
+
+TEST(SimMutex, StatsCountAcquisitions)
+{
+    SimMutex m;
+    m.acquire(0, 1);
+    m.acquire(0, 1);
+    EXPECT_EQ(m.acquisitions(), 2u);
+}
+
+TEST(SimRwSem, ReadersOverlap)
+{
+    SimRwSem s;
+    EXPECT_EQ(s.acquireRead(100, 50), 100u);
+    EXPECT_EQ(s.acquireRead(110, 50), 110u); // concurrent
+    EXPECT_EQ(s.readAcquisitions(), 2u);
+    EXPECT_EQ(s.readWaitNs(), 0u);
+}
+
+TEST(SimRwSem, WriterWaitsForReaders)
+{
+    SimRwSem s;
+    s.acquireRead(100, 50); // readers until 150
+    EXPECT_EQ(s.acquireWrite(120, 10), 150u);
+    EXPECT_EQ(s.writeWaitNs(), 30u);
+}
+
+TEST(SimRwSem, ReaderWaitsForWriter)
+{
+    SimRwSem s;
+    s.acquireWrite(100, 50); // writer until 150
+    EXPECT_EQ(s.acquireRead(120, 10), 150u);
+}
+
+TEST(SimRwSem, WritersSerialize)
+{
+    SimRwSem s;
+    EXPECT_EQ(s.acquireWrite(0, 100), 0u);
+    EXPECT_EQ(s.acquireWrite(10, 100), 100u);
+    EXPECT_EQ(s.acquireWrite(10, 100), 200u);
+}
+
+TEST(SimRwSem, ExtendWritePushesEveryone)
+{
+    SimRwSem s;
+    s.acquireWrite(0, 10);
+    s.extendWrite(40);
+    EXPECT_EQ(s.acquireRead(0, 5), 50u);
+}
+
+TEST(SimRwSem, BlockUntilDelaysWritersAndReaders)
+{
+    SimRwSem s;
+    s.blockUntil(1000);
+    EXPECT_EQ(s.acquireRead(0, 5), 1000u);
+    EXPECT_EQ(s.acquireWrite(0, 5), 1005u);
+}
+
+TEST(SimRwSem, BlockUntilNeverShortens)
+{
+    SimRwSem s;
+    s.acquireWrite(0, 500);
+    s.blockUntil(100); // earlier than the current reservation
+    EXPECT_EQ(s.writerNextFree(), 500u);
+}
+
+TEST(SimRwSem, WriterNextFreeConsidersReaders)
+{
+    SimRwSem s;
+    s.acquireRead(0, 300);
+    EXPECT_EQ(s.writerNextFree(), 300u);
+}
+
+} // namespace
+} // namespace latr

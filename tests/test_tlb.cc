@@ -1,0 +1,265 @@
+// Unit tests for the two-level TLB model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hw/tlb.hh"
+
+namespace latr
+{
+namespace
+{
+
+/** Counts listener traffic and mirrors membership. */
+class MirrorListener : public TlbListener
+{
+  public:
+    void
+    onTlbInsert(CoreId, Vpn vpn, Pfn pfn, Pcid pcid) override
+    {
+        ++inserts;
+        live[key(vpn, pcid)] = pfn;
+    }
+
+    void
+    onTlbRemove(CoreId, Vpn vpn, Pfn pfn, Pcid pcid) override
+    {
+        ++removes;
+        auto it = live.find(key(vpn, pcid));
+        ASSERT_NE(it, live.end());
+        EXPECT_EQ(it->second, pfn);
+        live.erase(it);
+    }
+
+    static std::uint64_t
+    key(Vpn vpn, Pcid pcid)
+    {
+        return (static_cast<std::uint64_t>(pcid) << 48) | vpn;
+    }
+
+    int inserts = 0;
+    int removes = 0;
+    std::map<std::uint64_t, Pfn> live;
+};
+
+TEST(Tlb, MissThenInsertThenHit)
+{
+    Tlb tlb(0, 4, 8);
+    Pfn pfn = 0;
+    EXPECT_EQ(tlb.lookup(10, 0, &pfn), TlbResult::Miss);
+    tlb.insert(10, 99, 0);
+    EXPECT_EQ(tlb.lookup(10, 0, &pfn), TlbResult::HitL1);
+    EXPECT_EQ(pfn, 99u);
+    EXPECT_EQ(tlb.l1Hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, L1EvictionSpillsToL2AndHitsThere)
+{
+    Tlb tlb(0, 2, 4);
+    tlb.insert(1, 101, 0);
+    tlb.insert(2, 102, 0);
+    tlb.insert(3, 103, 0); // evicts vpn 1 (LRU) into L2
+    Pfn pfn = 0;
+    EXPECT_EQ(tlb.lookup(1, 0, &pfn), TlbResult::HitL2);
+    EXPECT_EQ(pfn, 101u);
+    EXPECT_EQ(tlb.l2Hits(), 1u);
+}
+
+TEST(Tlb, L2PromotionMovesEntryBackToL1)
+{
+    Tlb tlb(0, 2, 4);
+    tlb.insert(1, 101, 0);
+    tlb.insert(2, 102, 0);
+    tlb.insert(3, 103, 0); // vpn 1 -> L2
+    EXPECT_EQ(tlb.lookup(1, 0), TlbResult::HitL2);
+    // Promoted: next lookup is an L1 hit.
+    EXPECT_EQ(tlb.lookup(1, 0), TlbResult::HitL1);
+}
+
+TEST(Tlb, TrueLruOrderRespectsTouches)
+{
+    Tlb tlb(0, 2, 2);
+    tlb.insert(1, 101, 0);
+    tlb.insert(2, 102, 0);
+    // Touch vpn 1 so vpn 2 becomes LRU.
+    EXPECT_EQ(tlb.lookup(1, 0), TlbResult::HitL1);
+    tlb.insert(3, 103, 0); // evicts vpn 2 (the LRU) to L2
+    EXPECT_EQ(tlb.lookup(2, 0), TlbResult::HitL2);
+    // Promoting vpn 2 into the 2-entry L1 demoted vpn 1 in turn.
+    EXPECT_EQ(tlb.lookup(1, 0), TlbResult::HitL2);
+}
+
+TEST(Tlb, TotalCapacityEnforced)
+{
+    Tlb tlb(0, 2, 2);
+    for (Vpn v = 0; v < 10; ++v)
+        tlb.insert(v, 100 + v, 0);
+    EXPECT_LE(tlb.size(), 4u);
+}
+
+TEST(Tlb, InvalidatePageRemovesFromBothLevels)
+{
+    Tlb tlb(0, 2, 4);
+    tlb.insert(1, 101, 0);
+    tlb.insert(2, 102, 0);
+    tlb.insert(3, 103, 0); // vpn 1 now in L2
+    tlb.invalidatePage(1, 0);
+    tlb.invalidatePage(3, 0);
+    EXPECT_EQ(tlb.lookup(1, 0), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(3, 0), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(2, 0), TlbResult::HitL1);
+}
+
+TEST(Tlb, InvalidateRangeIsInclusive)
+{
+    Tlb tlb(0, 8, 8);
+    for (Vpn v = 10; v <= 15; ++v)
+        tlb.insert(v, 100 + v, 0);
+    tlb.invalidateRange(11, 13, 0);
+    EXPECT_EQ(tlb.lookup(10, 0), TlbResult::HitL1);
+    EXPECT_EQ(tlb.lookup(11, 0), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(12, 0), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(13, 0), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(14, 0), TlbResult::HitL1);
+}
+
+TEST(Tlb, PcidSeparatesAddressSpaces)
+{
+    Tlb tlb(0, 8, 8);
+    tlb.insert(10, 100, 1);
+    tlb.insert(10, 200, 2);
+    Pfn pfn = 0;
+    EXPECT_EQ(tlb.lookup(10, 1, &pfn), TlbResult::HitL1);
+    EXPECT_EQ(pfn, 100u);
+    EXPECT_EQ(tlb.lookup(10, 2, &pfn), TlbResult::HitL1);
+    EXPECT_EQ(pfn, 200u);
+}
+
+TEST(Tlb, InvalidatePcidOnlyDropsThatSpace)
+{
+    Tlb tlb(0, 8, 8);
+    tlb.insert(10, 100, 1);
+    tlb.insert(11, 101, 1);
+    tlb.insert(10, 200, 2);
+    tlb.invalidatePcid(1);
+    EXPECT_EQ(tlb.lookup(10, 1), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(11, 1), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(10, 2), TlbResult::HitL1);
+}
+
+TEST(Tlb, InvalidateRangeHonorsPcid)
+{
+    Tlb tlb(0, 8, 8);
+    tlb.insert(10, 100, 1);
+    tlb.insert(10, 200, 2);
+    tlb.invalidateRange(0, 100, 1);
+    EXPECT_EQ(tlb.lookup(10, 1), TlbResult::Miss);
+    EXPECT_EQ(tlb.lookup(10, 2), TlbResult::HitL1);
+}
+
+TEST(Tlb, FlushAllEmptiesAndCounts)
+{
+    Tlb tlb(0, 4, 4);
+    for (Vpn v = 0; v < 6; ++v)
+        tlb.insert(v, v, 0);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.size(), 0u);
+    EXPECT_EQ(tlb.flushes(), 1u);
+    EXPECT_EQ(tlb.lookup(0, 0), TlbResult::Miss);
+}
+
+TEST(Tlb, ProbeHasNoLruSideEffects)
+{
+    Tlb tlb(0, 2, 2);
+    tlb.insert(1, 101, 0);
+    tlb.insert(2, 102, 0);
+    // Probing vpn 1 must NOT refresh it...
+    EXPECT_TRUE(tlb.probe(1, 0));
+    tlb.insert(3, 103, 0); // ...so vpn 1 is still the LRU victim
+    EXPECT_EQ(tlb.lookup(1, 0), TlbResult::HitL2);
+}
+
+TEST(Tlb, ListenerSeesNetMembershipChanges)
+{
+    Tlb tlb(0, 2, 2);
+    MirrorListener listener;
+    tlb.setListener(&listener);
+
+    tlb.insert(1, 101, 0);
+    tlb.insert(2, 102, 0);
+    EXPECT_EQ(listener.inserts, 2);
+    EXPECT_EQ(listener.removes, 0);
+
+    // Spill to L2 is not a removal...
+    tlb.insert(3, 103, 0);
+    EXPECT_EQ(listener.removes, 0);
+    // ...but falling out of L2 is.
+    tlb.insert(4, 104, 0);
+    tlb.insert(5, 105, 0);
+    EXPECT_GT(listener.removes, 0);
+    EXPECT_EQ(listener.live.size(), tlb.size());
+}
+
+TEST(Tlb, ListenerSeesRemapAsRemovePlusInsert)
+{
+    Tlb tlb(0, 4, 4);
+    MirrorListener listener;
+    tlb.setListener(&listener);
+    tlb.insert(1, 101, 0);
+    tlb.insert(1, 999, 0); // same vpn, new frame
+    EXPECT_EQ(listener.inserts, 2);
+    EXPECT_EQ(listener.removes, 1);
+    Pfn pfn = 0;
+    tlb.lookup(1, 0, &pfn);
+    EXPECT_EQ(pfn, 999u);
+    EXPECT_EQ(tlb.size(), 1u);
+}
+
+TEST(Tlb, ReinsertSameTranslationIsQuietForListener)
+{
+    Tlb tlb(0, 4, 4);
+    MirrorListener listener;
+    tlb.setListener(&listener);
+    tlb.insert(1, 101, 0);
+    tlb.insert(1, 101, 0); // identical
+    EXPECT_EQ(listener.inserts, 1);
+    EXPECT_EQ(listener.removes, 0);
+    EXPECT_EQ(tlb.size(), 1u);
+}
+
+TEST(Tlb, FlushNotifiesEveryEntry)
+{
+    Tlb tlb(0, 4, 4);
+    MirrorListener listener;
+    tlb.setListener(&listener);
+    for (Vpn v = 0; v < 4; ++v)
+        tlb.insert(v, v, 0);
+    tlb.flushAll();
+    EXPECT_EQ(listener.removes, 4);
+    EXPECT_TRUE(listener.live.empty());
+}
+
+class TlbFillSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(TlbFillSweep, SizeNeverExceedsConfiguredCapacity)
+{
+    const unsigned l1 = GetParam();
+    Tlb tlb(0, l1, 2 * l1);
+    for (Vpn v = 0; v < 10 * l1; ++v) {
+        tlb.insert(v, v, 0);
+        EXPECT_LE(tlb.size(), static_cast<std::size_t>(3 * l1));
+    }
+    // All most-recent l1 insertions must still hit in L1.
+    for (Vpn v = 10 * l1 - l1; v < 10 * l1; ++v)
+        EXPECT_EQ(tlb.lookup(v, 0), TlbResult::HitL1) << v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, TlbFillSweep,
+                         ::testing::Values(2u, 4u, 64u));
+
+} // namespace
+} // namespace latr

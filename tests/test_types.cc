@@ -1,0 +1,134 @@
+// Unit tests for fundamental types: page math and CpuMask.
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(PageMath, PageOfAndAddrOfRoundTrip)
+{
+    EXPECT_EQ(pageOf(0), 0u);
+    EXPECT_EQ(pageOf(kPageSize - 1), 0u);
+    EXPECT_EQ(pageOf(kPageSize), 1u);
+    EXPECT_EQ(addrOf(5), 5 * kPageSize);
+    EXPECT_EQ(pageOf(addrOf(1234)), 1234u);
+}
+
+TEST(PageMath, Alignment)
+{
+    EXPECT_EQ(pageAlignDown(0x1234), 0x1000u);
+    EXPECT_EQ(pageAlignUp(0x1234), 0x2000u);
+    EXPECT_EQ(pageAlignUp(0x1000), 0x1000u);
+    EXPECT_EQ(pageAlignDown(0x1000), 0x1000u);
+}
+
+TEST(PageMath, PagesSpanned)
+{
+    EXPECT_EQ(pagesSpanned(0, 0), 0u);
+    EXPECT_EQ(pagesSpanned(0, 1), 1u);
+    EXPECT_EQ(pagesSpanned(0, kPageSize), 1u);
+    EXPECT_EQ(pagesSpanned(0, kPageSize + 1), 2u);
+    // An unaligned single byte crossing nothing still spans 1 page.
+    EXPECT_EQ(pagesSpanned(kPageSize - 1, 1), 1u);
+    // One byte on each side of a boundary spans 2 pages.
+    EXPECT_EQ(pagesSpanned(kPageSize - 1, 2), 2u);
+    EXPECT_EQ(pagesSpanned(0x1800, 0x1000), 2u);
+}
+
+TEST(CpuMask, StartsEmpty)
+{
+    CpuMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(CpuMask, SetClearTest)
+{
+    CpuMask m;
+    m.set(5);
+    m.set(77); // second word
+    EXPECT_TRUE(m.test(5));
+    EXPECT_TRUE(m.test(77));
+    EXPECT_FALSE(m.test(6));
+    EXPECT_EQ(m.count(), 2u);
+    m.clear(5);
+    EXPECT_FALSE(m.test(5));
+    EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(CpuMask, SingleAndFirstN)
+{
+    CpuMask s = CpuMask::single(42);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_TRUE(s.test(42));
+
+    CpuMask f = CpuMask::firstN(70);
+    EXPECT_EQ(f.count(), 70u);
+    EXPECT_TRUE(f.test(0));
+    EXPECT_TRUE(f.test(69));
+    EXPECT_FALSE(f.test(70));
+}
+
+TEST(CpuMask, OrAndAndWith)
+{
+    CpuMask a = CpuMask::firstN(4);   // 0..3
+    CpuMask b;
+    b.set(2);
+    b.set(5);
+    CpuMask o = a;
+    o.orWith(b);
+    EXPECT_EQ(o.count(), 5u);
+    CpuMask n = a;
+    n.andWith(b);
+    EXPECT_EQ(n.count(), 1u);
+    EXPECT_TRUE(n.test(2));
+}
+
+TEST(CpuMask, ForEachVisitsAscending)
+{
+    CpuMask m;
+    m.set(3);
+    m.set(64);
+    m.set(127);
+    std::vector<CoreId> seen;
+    m.forEach([&](CoreId c) { seen.push_back(c); });
+    EXPECT_EQ(seen, (std::vector<CoreId>{3, 64, 127}));
+}
+
+TEST(CpuMask, ResetAndEquality)
+{
+    CpuMask a = CpuMask::firstN(10);
+    CpuMask b = CpuMask::firstN(10);
+    EXPECT_TRUE(a == b);
+    a.reset();
+    EXPECT_TRUE(a.empty());
+    EXPECT_FALSE(a == b);
+}
+
+class CpuMaskWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CpuMaskWidthTest, CountMatchesSetBitsAtEveryWidth)
+{
+    const unsigned n = GetParam();
+    CpuMask m = CpuMask::firstN(n);
+    EXPECT_EQ(m.count(), n);
+    unsigned visited = 0;
+    m.forEach([&](CoreId c) {
+        EXPECT_LT(c, n);
+        ++visited;
+    });
+    EXPECT_EQ(visited, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CpuMaskWidthTest,
+                         ::testing::Values(0u, 1u, 63u, 64u, 65u, 120u,
+                                           127u, 128u));
+
+} // namespace
+} // namespace latr

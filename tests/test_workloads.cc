@@ -1,0 +1,218 @@
+// Tests for the workload layer: actors, the munmap microbenchmark,
+// the webserver, and the PARSEC profiles.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+#include "workload/lowshootdown.hh"
+#include "workload/microbench.hh"
+#include "workload/numabench.hh"
+#include "workload/parsec.hh"
+#include "workload/webserver.hh"
+#include "workload/workload.hh"
+
+namespace latr
+{
+namespace
+{
+
+/** A trivial actor: fixed-duration steps, fixed iteration count. */
+class CountingActor : public CoreActor
+{
+  public:
+    CountingActor(Machine &machine, Task *task, std::uint64_t iters)
+        : CoreActor(machine, task), left_(iters)
+    {}
+
+  protected:
+    Duration
+    step() override
+    {
+        if (left_ == 0)
+            return kActorDone;
+        --left_;
+        return 10 * kUsec;
+    }
+
+  private:
+    std::uint64_t left_;
+};
+
+TEST(CoreActor, RunsExactlyItsIterations)
+{
+    Machine machine(test::tinyConfig(), PolicyKind::Latr);
+    Process *p = machine.kernel().createProcess("x");
+    Task *t = machine.kernel().spawnTask(p, 0);
+    std::vector<std::unique_ptr<CoreActor>> actors;
+    actors.push_back(
+        std::make_unique<CountingActor>(machine, t, 100));
+    actors[0]->start(1);
+    Tick finish = runToCompletion(machine, actors, 10 * kSec);
+    EXPECT_TRUE(actors[0]->done());
+    EXPECT_EQ(actors[0]->iterations(), 100u);
+    // 100 iterations of 10 us plus stolen time: slightly above 1 ms.
+    EXPECT_GE(finish, 100 * 10 * kUsec);
+    EXPECT_LT(finish, 3 * kMsec);
+}
+
+TEST(CoreActor, StolenTimeStretchesSteps)
+{
+    Machine machine(test::tinyConfig(), PolicyKind::Latr);
+    Process *p = machine.kernel().createProcess("x");
+    Task *t = machine.kernel().spawnTask(p, 0);
+    std::vector<std::unique_ptr<CoreActor>> actors;
+    actors.push_back(std::make_unique<CountingActor>(machine, t, 10));
+    actors[0]->start(1);
+    machine.scheduler().chargeStolen(0, 5 * kMsec); // big theft
+    Tick finish = runToCompletion(machine, actors, 10 * kSec);
+    EXPECT_GT(finish, 5 * kMsec);
+}
+
+TEST(Microbench, LatrBeatsLinuxOnMunmapLatency)
+{
+    MunmapMicrobenchConfig cfg;
+    cfg.sharingCores = 8;
+    cfg.pages = 1;
+    cfg.iterations = 60;
+    cfg.warmupIterations = 5;
+
+    Machine linux_machine(test::tinyConfig(), PolicyKind::LinuxSync);
+    MunmapMicrobenchResult linux_r =
+        runMunmapMicrobench(linux_machine, cfg);
+
+    Machine latr_machine(test::tinyConfig(), PolicyKind::Latr);
+    MunmapMicrobenchResult latr_r =
+        runMunmapMicrobench(latr_machine, cfg);
+
+    EXPECT_GT(linux_r.munmapMeanNs, latr_r.munmapMeanNs);
+    EXPECT_GT(linux_r.shootdownMeanNs, 10 * latr_r.shootdownMeanNs);
+    EXPECT_EQ(latr_r.latrFallbacks, 0u);
+    EXPECT_GT(latr_r.lazyBytesPeak, 0u);
+    EXPECT_EQ(linux_machine.checker()->violations(), 0u);
+    EXPECT_EQ(latr_machine.checker()->violations(), 0u);
+}
+
+TEST(Microbench, ShootdownShareShrinksWithPageCount)
+{
+    // Figure 8's shape: more pages amortize the shootdown.
+    auto ratio = [](std::uint64_t pages) {
+        MunmapMicrobenchConfig cfg;
+        cfg.sharingCores = 8;
+        cfg.pages = pages;
+        cfg.iterations = 40;
+        cfg.warmupIterations = 4;
+        Machine machine(test::tinyConfig(), PolicyKind::LinuxSync);
+        MunmapMicrobenchResult r = runMunmapMicrobench(machine, cfg);
+        return r.shootdownMeanNs / r.munmapMeanNs;
+    };
+    EXPECT_GT(ratio(1), ratio(64));
+}
+
+TEST(WebServer, ServesRequestsAndCountsShootdowns)
+{
+    Machine machine(test::tinyConfig(), PolicyKind::LinuxSync);
+    WebServerConfig cfg;
+    cfg.workers = 4;
+    cfg.processes = 2;
+    WebServerWorkload server(machine, cfg);
+    WebServerResult r = server.measure(20 * kMsec, 100 * kMsec);
+    EXPECT_GT(r.requests, 100u);
+    EXPECT_GT(r.requestsPerSec, 0.0);
+    EXPECT_GT(r.shootdownsPerSec, 0.0);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST(WebServer, SendfileModeHasNoShootdowns)
+{
+    Machine machine(test::tinyConfig(), PolicyKind::LinuxSync);
+    WebServerConfig cfg;
+    cfg.workers = 2;
+    cfg.processes = 1;
+    cfg.mmapPerRequest = false; // nginx-style
+    WebServerWorkload server(machine, cfg);
+    WebServerResult r = server.measure(10 * kMsec, 50 * kMsec);
+    EXPECT_GT(r.requests, 0u);
+    EXPECT_DOUBLE_EQ(r.shootdownsPerSec, 0.0);
+}
+
+TEST(WebServer, LatrOutperformsLinuxWhenShootdownBound)
+{
+    WebServerConfig cfg;
+    cfg.workers = 8;
+    cfg.processes = 2;
+    cfg.serviceCpu = 20 * kUsec; // shootdown-heavy regime
+
+    Machine linux_machine(test::tinyConfig(), PolicyKind::LinuxSync);
+    WebServerWorkload linux_server(linux_machine, cfg);
+    WebServerResult linux_r =
+        linux_server.measure(20 * kMsec, 150 * kMsec);
+
+    Machine latr_machine(test::tinyConfig(), PolicyKind::Latr);
+    WebServerWorkload latr_server(latr_machine, cfg);
+    WebServerResult latr_r =
+        latr_server.measure(20 * kMsec, 150 * kMsec);
+
+    EXPECT_GT(latr_r.requestsPerSec, linux_r.requestsPerSec);
+    EXPECT_EQ(latr_machine.checker()->violations(), 0u);
+}
+
+TEST(Parsec, SuiteHasThirteenBenchmarksLikeFigure10)
+{
+    EXPECT_EQ(parsecSuite().size(), 13u);
+    EXPECT_NO_THROW(parsecProfile("dedup"));
+    EXPECT_STREQ(parsecProfile("canneal").name, "canneal");
+}
+
+TEST(ParsecDeath, UnknownProfileIsFatal)
+{
+    EXPECT_DEATH(parsecProfile("doom3"), "unknown PARSEC");
+}
+
+TEST(Parsec, DedupProfileRunsAndFreesMemory)
+{
+    ParsecProfile profile = parsecProfile("dedup");
+    profile.itersPerCore = 150; // trimmed for test budget
+    Machine machine(test::tinyConfig(), PolicyKind::Latr);
+    ParsecResult r = runParsec(machine, profile, 4);
+    EXPECT_GT(r.runtimeNs, 0u);
+    EXPECT_GT(r.shootdownsPerSec, 0.0);
+    machine.run(8 * kMsec);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST(LowShootdown, CasesMatchFigure12)
+{
+    EXPECT_EQ(lowShootdownCases().size(), 7u);
+    EXPECT_STREQ(lowShootdownCases()[0].name, "nginx_1");
+}
+
+TEST(LowShootdown, NginxCaseRunsWithZeroShootdowns)
+{
+    MachineConfig cfg = test::tinyConfig();
+    LowShootdownResult r = runLowShootdownCase(
+        cfg, PolicyKind::Latr, lowShootdownCases()[0]);
+    EXPECT_GT(r.performance, 0.0);
+    EXPECT_DOUBLE_EQ(r.shootdownsPerSec, 0.0);
+}
+
+TEST(LowShootdown, PolicyGapIsSmallWhenNothingIsLazy)
+{
+    // The figure 12 property on one case: with no shootdown
+    // traffic, LATR performs within a couple percent of Linux.
+    MachineConfig cfg = test::tinyConfig();
+    const LowShootdownCase &c = lowShootdownCases()[0]; // nginx_1
+    LowShootdownResult linux_r =
+        runLowShootdownCase(cfg, PolicyKind::LinuxSync, c);
+    LowShootdownResult latr_r =
+        runLowShootdownCase(cfg, PolicyKind::Latr, c);
+    EXPECT_NEAR(latr_r.performance / linux_r.performance, 1.0, 0.03);
+}
+
+TEST(NumaBench, SuiteMatchesFigure11)
+{
+    EXPECT_EQ(numaBenchSuite().size(), 5u);
+    EXPECT_STREQ(numaBenchSuite()[2].name, "graph500");
+}
+
+} // namespace
+} // namespace latr
