@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pcid.dir/bench_ablation_pcid.cc.o"
+  "CMakeFiles/bench_ablation_pcid.dir/bench_ablation_pcid.cc.o.d"
+  "bench_ablation_pcid"
+  "bench_ablation_pcid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

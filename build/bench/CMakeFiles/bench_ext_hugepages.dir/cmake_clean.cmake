@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hugepages.dir/bench_ext_hugepages.cc.o"
+  "CMakeFiles/bench_ext_hugepages.dir/bench_ext_hugepages.cc.o.d"
+  "bench_ext_hugepages"
+  "bench_ext_hugepages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hugepages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

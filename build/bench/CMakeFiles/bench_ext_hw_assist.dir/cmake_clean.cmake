@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hw_assist.dir/bench_ext_hw_assist.cc.o"
+  "CMakeFiles/bench_ext_hw_assist.dir/bench_ext_hw_assist.cc.o.d"
+  "bench_ext_hw_assist"
+  "bench_ext_hw_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hw_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

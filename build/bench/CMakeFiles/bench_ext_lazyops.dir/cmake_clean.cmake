@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_lazyops.dir/bench_ext_lazyops.cc.o"
+  "CMakeFiles/bench_ext_lazyops.dir/bench_ext_lazyops.cc.o.d"
+  "bench_ext_lazyops"
+  "bench_ext_lazyops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_lazyops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_munmap_cores.dir/bench_fig06_munmap_cores.cc.o"
+  "CMakeFiles/bench_fig06_munmap_cores.dir/bench_fig06_munmap_cores.cc.o.d"
+  "bench_fig06_munmap_cores"
+  "bench_fig06_munmap_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_munmap_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

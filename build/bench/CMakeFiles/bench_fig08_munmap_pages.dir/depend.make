@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig08_munmap_pages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_apache.dir/bench_fig09_apache.cc.o"
+  "CMakeFiles/bench_fig09_apache.dir/bench_fig09_apache.cc.o.d"
+  "bench_fig09_apache"
+  "bench_fig09_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_parsec.dir/bench_fig10_parsec.cc.o"
+  "CMakeFiles/bench_fig10_parsec.dir/bench_fig10_parsec.cc.o.d"
+  "bench_fig10_parsec"
+  "bench_fig10_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

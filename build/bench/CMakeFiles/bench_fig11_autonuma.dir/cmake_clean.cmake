@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_autonuma.dir/bench_fig11_autonuma.cc.o"
+  "CMakeFiles/bench_fig11_autonuma.dir/bench_fig11_autonuma.cc.o.d"
+  "bench_fig11_autonuma"
+  "bench_fig11_autonuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_autonuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_operations.dir/bench_table1_operations.cc.o"
+  "CMakeFiles/bench_table1_operations.dir/bench_table1_operations.cc.o.d"
+  "bench_table1_operations"
+  "bench_table1_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

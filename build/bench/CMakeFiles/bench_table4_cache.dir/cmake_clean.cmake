@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cache.dir/bench_table4_cache.cc.o"
+  "CMakeFiles/bench_table4_cache.dir/bench_table4_cache.cc.o.d"
+  "bench_table4_cache"
+  "bench_table4_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latrsim_cli.dir/latrsim_cli.cc.o"
+  "CMakeFiles/latrsim_cli.dir/latrsim_cli.cc.o.d"
+  "latrsim_cli"
+  "latrsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latrsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

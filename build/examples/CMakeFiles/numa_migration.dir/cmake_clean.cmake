@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_migration.dir/numa_migration.cc.o"
+  "CMakeFiles/numa_migration.dir/numa_migration.cc.o.d"
+  "numa_migration"
+  "numa_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

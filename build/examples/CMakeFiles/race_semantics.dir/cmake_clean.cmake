@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_semantics.dir/race_semantics.cc.o"
+  "CMakeFiles/race_semantics.dir/race_semantics.cc.o.d"
+  "race_semantics"
+  "race_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache.cc" "src/CMakeFiles/latr.dir/hw/cache.cc.o" "gcc" "src/CMakeFiles/latr.dir/hw/cache.cc.o.d"
+  "/root/repo/src/hw/ipi.cc" "src/CMakeFiles/latr.dir/hw/ipi.cc.o" "gcc" "src/CMakeFiles/latr.dir/hw/ipi.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/CMakeFiles/latr.dir/hw/tlb.cc.o" "gcc" "src/CMakeFiles/latr.dir/hw/tlb.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/latr.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/latr.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/machine_stats.cc" "src/CMakeFiles/latr.dir/machine/machine_stats.cc.o" "gcc" "src/CMakeFiles/latr.dir/machine/machine_stats.cc.o.d"
+  "/root/repo/src/mem/frame_allocator.cc" "src/CMakeFiles/latr.dir/mem/frame_allocator.cc.o" "gcc" "src/CMakeFiles/latr.dir/mem/frame_allocator.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/CMakeFiles/latr.dir/mem/page_table.cc.o" "gcc" "src/CMakeFiles/latr.dir/mem/page_table.cc.o.d"
+  "/root/repo/src/numa/autonuma.cc" "src/CMakeFiles/latr.dir/numa/autonuma.cc.o" "gcc" "src/CMakeFiles/latr.dir/numa/autonuma.cc.o.d"
+  "/root/repo/src/numa/compaction.cc" "src/CMakeFiles/latr.dir/numa/compaction.cc.o" "gcc" "src/CMakeFiles/latr.dir/numa/compaction.cc.o.d"
+  "/root/repo/src/numa/khugepaged.cc" "src/CMakeFiles/latr.dir/numa/khugepaged.cc.o" "gcc" "src/CMakeFiles/latr.dir/numa/khugepaged.cc.o.d"
+  "/root/repo/src/numa/ksm.cc" "src/CMakeFiles/latr.dir/numa/ksm.cc.o" "gcc" "src/CMakeFiles/latr.dir/numa/ksm.cc.o.d"
+  "/root/repo/src/numa/migration.cc" "src/CMakeFiles/latr.dir/numa/migration.cc.o" "gcc" "src/CMakeFiles/latr.dir/numa/migration.cc.o.d"
+  "/root/repo/src/numa/swap.cc" "src/CMakeFiles/latr.dir/numa/swap.cc.o" "gcc" "src/CMakeFiles/latr.dir/numa/swap.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/CMakeFiles/latr.dir/os/kernel.cc.o" "gcc" "src/CMakeFiles/latr.dir/os/kernel.cc.o.d"
+  "/root/repo/src/os/process.cc" "src/CMakeFiles/latr.dir/os/process.cc.o" "gcc" "src/CMakeFiles/latr.dir/os/process.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/latr.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/latr.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/os/task.cc" "src/CMakeFiles/latr.dir/os/task.cc.o" "gcc" "src/CMakeFiles/latr.dir/os/task.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/latr.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/latr.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/latr.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/latr.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/latr.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/latr.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/latr.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/latr.dir/sim/stats.cc.o.d"
+  "/root/repo/src/tlbcoh/abis_policy.cc" "src/CMakeFiles/latr.dir/tlbcoh/abis_policy.cc.o" "gcc" "src/CMakeFiles/latr.dir/tlbcoh/abis_policy.cc.o.d"
+  "/root/repo/src/tlbcoh/barrelfish_policy.cc" "src/CMakeFiles/latr.dir/tlbcoh/barrelfish_policy.cc.o" "gcc" "src/CMakeFiles/latr.dir/tlbcoh/barrelfish_policy.cc.o.d"
+  "/root/repo/src/tlbcoh/invariant.cc" "src/CMakeFiles/latr.dir/tlbcoh/invariant.cc.o" "gcc" "src/CMakeFiles/latr.dir/tlbcoh/invariant.cc.o.d"
+  "/root/repo/src/tlbcoh/latr_policy.cc" "src/CMakeFiles/latr.dir/tlbcoh/latr_policy.cc.o" "gcc" "src/CMakeFiles/latr.dir/tlbcoh/latr_policy.cc.o.d"
+  "/root/repo/src/tlbcoh/linux_policy.cc" "src/CMakeFiles/latr.dir/tlbcoh/linux_policy.cc.o" "gcc" "src/CMakeFiles/latr.dir/tlbcoh/linux_policy.cc.o.d"
+  "/root/repo/src/tlbcoh/policy.cc" "src/CMakeFiles/latr.dir/tlbcoh/policy.cc.o" "gcc" "src/CMakeFiles/latr.dir/tlbcoh/policy.cc.o.d"
+  "/root/repo/src/topo/cost_model.cc" "src/CMakeFiles/latr.dir/topo/cost_model.cc.o" "gcc" "src/CMakeFiles/latr.dir/topo/cost_model.cc.o.d"
+  "/root/repo/src/topo/machine_config.cc" "src/CMakeFiles/latr.dir/topo/machine_config.cc.o" "gcc" "src/CMakeFiles/latr.dir/topo/machine_config.cc.o.d"
+  "/root/repo/src/topo/topology.cc" "src/CMakeFiles/latr.dir/topo/topology.cc.o" "gcc" "src/CMakeFiles/latr.dir/topo/topology.cc.o.d"
+  "/root/repo/src/vm/address_space.cc" "src/CMakeFiles/latr.dir/vm/address_space.cc.o" "gcc" "src/CMakeFiles/latr.dir/vm/address_space.cc.o.d"
+  "/root/repo/src/vm/fault.cc" "src/CMakeFiles/latr.dir/vm/fault.cc.o" "gcc" "src/CMakeFiles/latr.dir/vm/fault.cc.o.d"
+  "/root/repo/src/vm/sem.cc" "src/CMakeFiles/latr.dir/vm/sem.cc.o" "gcc" "src/CMakeFiles/latr.dir/vm/sem.cc.o.d"
+  "/root/repo/src/vm/vma.cc" "src/CMakeFiles/latr.dir/vm/vma.cc.o" "gcc" "src/CMakeFiles/latr.dir/vm/vma.cc.o.d"
+  "/root/repo/src/workload/lowshootdown.cc" "src/CMakeFiles/latr.dir/workload/lowshootdown.cc.o" "gcc" "src/CMakeFiles/latr.dir/workload/lowshootdown.cc.o.d"
+  "/root/repo/src/workload/microbench.cc" "src/CMakeFiles/latr.dir/workload/microbench.cc.o" "gcc" "src/CMakeFiles/latr.dir/workload/microbench.cc.o.d"
+  "/root/repo/src/workload/numabench.cc" "src/CMakeFiles/latr.dir/workload/numabench.cc.o" "gcc" "src/CMakeFiles/latr.dir/workload/numabench.cc.o.d"
+  "/root/repo/src/workload/parsec.cc" "src/CMakeFiles/latr.dir/workload/parsec.cc.o" "gcc" "src/CMakeFiles/latr.dir/workload/parsec.cc.o.d"
+  "/root/repo/src/workload/webserver.cc" "src/CMakeFiles/latr.dir/workload/webserver.cc.o" "gcc" "src/CMakeFiles/latr.dir/workload/webserver.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/latr.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/latr.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

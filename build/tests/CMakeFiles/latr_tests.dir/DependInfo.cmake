@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_abis_policy.cc" "tests/CMakeFiles/latr_tests.dir/test_abis_policy.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_abis_policy.cc.o.d"
+  "/root/repo/tests/test_address_space.cc" "tests/CMakeFiles/latr_tests.dir/test_address_space.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_address_space.cc.o.d"
+  "/root/repo/tests/test_autonuma.cc" "tests/CMakeFiles/latr_tests.dir/test_autonuma.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_autonuma.cc.o.d"
+  "/root/repo/tests/test_barrelfish_policy.cc" "tests/CMakeFiles/latr_tests.dir/test_barrelfish_policy.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_barrelfish_policy.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/latr_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_chaos.cc" "tests/CMakeFiles/latr_tests.dir/test_chaos.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_chaos.cc.o.d"
+  "/root/repo/tests/test_compaction.cc" "tests/CMakeFiles/latr_tests.dir/test_compaction.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_compaction.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/latr_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fault.cc" "tests/CMakeFiles/latr_tests.dir/test_fault.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_fault.cc.o.d"
+  "/root/repo/tests/test_frame_allocator.cc" "tests/CMakeFiles/latr_tests.dir/test_frame_allocator.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_frame_allocator.cc.o.d"
+  "/root/repo/tests/test_hugepages.cc" "tests/CMakeFiles/latr_tests.dir/test_hugepages.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_hugepages.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/latr_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_invariant.cc" "tests/CMakeFiles/latr_tests.dir/test_invariant.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_invariant.cc.o.d"
+  "/root/repo/tests/test_ipi.cc" "tests/CMakeFiles/latr_tests.dir/test_ipi.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_ipi.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/latr_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_khugepaged.cc" "tests/CMakeFiles/latr_tests.dir/test_khugepaged.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_khugepaged.cc.o.d"
+  "/root/repo/tests/test_ksm.cc" "tests/CMakeFiles/latr_tests.dir/test_ksm.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_ksm.cc.o.d"
+  "/root/repo/tests/test_latr_policy.cc" "tests/CMakeFiles/latr_tests.dir/test_latr_policy.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_latr_policy.cc.o.d"
+  "/root/repo/tests/test_linux_policy.cc" "tests/CMakeFiles/latr_tests.dir/test_linux_policy.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_linux_policy.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/latr_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/latr_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_property.cc" "tests/CMakeFiles/latr_tests.dir/test_property.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_property.cc.o.d"
+  "/root/repo/tests/test_rng_stats.cc" "tests/CMakeFiles/latr_tests.dir/test_rng_stats.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_rng_stats.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/latr_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_sem.cc" "tests/CMakeFiles/latr_tests.dir/test_sem.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_sem.cc.o.d"
+  "/root/repo/tests/test_swap.cc" "tests/CMakeFiles/latr_tests.dir/test_swap.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_swap.cc.o.d"
+  "/root/repo/tests/test_tlb.cc" "tests/CMakeFiles/latr_tests.dir/test_tlb.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_tlb.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/latr_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_types.cc" "tests/CMakeFiles/latr_tests.dir/test_types.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_types.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/latr_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/latr_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/latr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
