@@ -26,11 +26,36 @@ runPoint(PolicyKind policy, unsigned cores)
     return runMunmapMicrobench(machine, cfg);
 }
 
+/**
+ * A --trace run records a dedicated 16-core LATR capture, paced with
+ * no inter-iteration gap so the state ring also exercises its
+ * IPI-fallback path — the full lifecycle (munmap, state save, sweep,
+ * fallback IPIs, reclamation) lands in one timeline. The measured
+ * table above is untouched.
+ */
+void
+capturePoint(const bench::TraceOptions &trace)
+{
+    Machine machine(MachineConfig::commodity2S16C(),
+                    PolicyKind::Latr);
+    bench::applyTrace(machine, trace);
+    MunmapMicrobenchConfig cfg;
+    cfg.sharingCores = 16;
+    cfg.pages = 1;
+    cfg.iterations = 200;
+    cfg.warmupIterations = 0;
+    cfg.interIterationGap = 0;
+    runMunmapMicrobench(machine, cfg);
+    bench::finishTrace(machine, trace);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::TraceOptions trace =
+        bench::traceOptionsFromArgs(argc, argv);
     const MachineConfig config = MachineConfig::commodity2S16C();
     bench::banner("Figure 6", "munmap(1 page) cost vs. sharing cores",
                   config);
@@ -73,5 +98,7 @@ main()
         "%.2f us, improvement %.1f%%",
         bench::us(linux16), 100.0 * linux16_sd / linux16,
         bench::us(latr16), 100.0 * (linux16 - latr16) / linux16);
+    if (trace.wanted())
+        capturePoint(trace);
     return 0;
 }

@@ -11,9 +11,14 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "machine/machine.hh"
 #include "topo/machine_config.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/text_dump.hh"
 
 namespace latr::bench
 {
@@ -61,6 +66,89 @@ inline double
 us(double ns)
 {
     return ns / 1000.0;
+}
+
+/**
+ * Tracing knobs shared by the benches: parsed from the bench's argv
+ * (`--trace=FILE`, `--trace-text=FILE`, `--trace-capacity=N`).
+ * Benches run many machines; each picks one representative point to
+ * arm with applyTrace()/finishTrace().
+ */
+struct TraceOptions
+{
+    std::string jsonPath;
+    std::string textPath;
+    std::size_t capacity = 0; // 0 = recorder default
+
+    bool wanted() const
+    {
+        return !jsonPath.empty() || !textPath.empty();
+    }
+};
+
+inline TraceOptions
+traceOptionsFromArgs(int argc, char **argv)
+{
+    TraceOptions opts;
+    auto value = [](const char *arg,
+                    const char *key) -> const char * {
+        const std::size_t n = std::strlen(key);
+        if (std::strncmp(arg, key, n) == 0 && arg[n] == '=')
+            return arg + n + 1;
+        return nullptr;
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (const char *v = value(argv[i], "--trace"))
+            opts.jsonPath = v;
+        else if (const char *v = value(argv[i], "--trace-text"))
+            opts.textPath = v;
+        else if (const char *v = value(argv[i], "--trace-capacity"))
+            opts.capacity =
+                static_cast<std::size_t>(std::atoll(v));
+    }
+    return opts;
+}
+
+/** Arm @p machine's recorder per @p opts (no-op when not wanted). */
+inline void
+applyTrace(Machine &machine, const TraceOptions &opts)
+{
+    if (!opts.wanted())
+        return;
+    if (opts.capacity != 0)
+        machine.trace().setCapacity(opts.capacity);
+    machine.trace().setEnabled(true);
+}
+
+/** Write the armed machine's trace to the requested files. */
+inline void
+finishTrace(Machine &machine, const TraceOptions &opts)
+{
+    if (!opts.jsonPath.empty()) {
+        if (writeChromeTraceFile(machine.trace(), &machine.topo(),
+                                 opts.jsonPath))
+            std::fprintf(stderr, "trace: %llu records -> %s\n",
+                         static_cast<unsigned long long>(
+                             machine.trace().size()),
+                         opts.jsonPath.c_str());
+        else
+            std::fprintf(stderr, "trace: cannot write '%s'\n",
+                         opts.jsonPath.c_str());
+    }
+    if (!opts.textPath.empty()) {
+        TextDumpOptions text;
+        std::FILE *f = opts.textPath == "-"
+                           ? stdout
+                           : std::fopen(opts.textPath.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "trace: cannot write '%s'\n",
+                         opts.textPath.c_str());
+            return;
+        }
+        writeTextTimeline(machine.trace(), text, f);
+        if (f != stdout)
+            std::fclose(f);
+    }
 }
 
 } // namespace latr::bench

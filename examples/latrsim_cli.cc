@@ -18,6 +18,8 @@
 #include "machine/machine.hh"
 #include "sim/logging.hh"
 #include "machine/machine_stats.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/text_dump.hh"
 #include "workload/microbench.hh"
 #include "workload/numabench.hh"
 #include "workload/parsec.hh"
@@ -38,6 +40,9 @@ struct Options
     unsigned cores = 16;
     std::uint64_t pages = 1;
     bool dumpStats = false;
+    std::string tracePath;     // chrome://tracing / Perfetto JSON
+    std::string traceTextPath; // human-readable timeline
+    std::size_t traceCapacity = 0; // 0 = recorder default
 };
 
 void
@@ -53,7 +58,12 @@ usage(const char *argv0)
         "  --workers=N   (apache/nginx serving cores)\n"
         "  --cores=N     (microbench/parsec/numa cores)\n"
         "  --pages=N     (microbench pages per munmap)\n"
-        "  --stats       (dump the full stat registry)\n",
+        "  --stats       (dump the full stat registry)\n"
+        "  --trace=FILE      (write Chrome-trace JSON; load in\n"
+        "                     chrome://tracing or ui.perfetto.dev)\n"
+        "  --trace-text=FILE (write a human-readable timeline;\n"
+        "                     '-' for stdout)\n"
+        "  --trace-capacity=N (ring size in records; default 65536)\n",
         argv0);
 }
 
@@ -80,6 +90,12 @@ parseArg(Options &opts, const char *arg)
         opts.cores = static_cast<unsigned>(std::atoi(v));
     } else if (const char *v = value("--pages")) {
         opts.pages = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char *v = value("--trace")) {
+        opts.tracePath = v;
+    } else if (const char *v = value("--trace-text")) {
+        opts.traceTextPath = v;
+    } else if (const char *v = value("--trace-capacity")) {
+        opts.traceCapacity = static_cast<std::size_t>(std::atoll(v));
     } else if (std::strcmp(arg, "--stats") == 0) {
         opts.dumpStats = true;
     } else {
@@ -126,6 +142,11 @@ main(int argc, char **argv)
     }
 
     Machine machine(machineOf(opts.machine), policyOf(opts.policy));
+    if (!opts.tracePath.empty() || !opts.traceTextPath.empty()) {
+        if (opts.traceCapacity != 0)
+            machine.trace().setCapacity(opts.traceCapacity);
+        machine.trace().setEnabled(true);
+    }
     std::printf("machine:  %s\npolicy:   %s\nworkload: %s\n\n",
                 machine.config().name.c_str(),
                 machine.policy().name(), opts.workload.c_str());
@@ -183,6 +204,30 @@ main(int argc, char **argv)
     if (opts.dumpStats) {
         std::printf("\n--- stats ---\n%s",
                     machine.stats().dump().c_str());
+    }
+    if (!opts.tracePath.empty()) {
+        if (!writeChromeTraceFile(machine.trace(), &machine.topo(),
+                                  opts.tracePath))
+            fatal("cannot write trace to '%s'",
+                  opts.tracePath.c_str());
+        std::fprintf(stderr, "trace: %llu records -> %s\n",
+                     static_cast<unsigned long long>(
+                         machine.trace().size()),
+                     opts.tracePath.c_str());
+    }
+    if (!opts.traceTextPath.empty()) {
+        TextDumpOptions text;
+        if (opts.traceTextPath == "-") {
+            writeTextTimeline(machine.trace(), text, stdout);
+        } else {
+            std::FILE *f =
+                std::fopen(opts.traceTextPath.c_str(), "w");
+            if (!f)
+                fatal("cannot write trace to '%s'",
+                      opts.traceTextPath.c_str());
+            writeTextTimeline(machine.trace(), text, f);
+            std::fclose(f);
+        }
     }
     return 0;
 }

@@ -2,40 +2,40 @@
 // the sequence of events in a munmap() and in an AutoNUMA sampling
 // under Linux vs. LATR, with the simulated timestamps of each step.
 //
+// The narrative lines are recorded through the machine's
+// TraceRecorder (category "timeline") and rendered by the text sink,
+// so the same run can also be exported to Perfetto via the chrome
+// sink if desired.
+//
 //   $ ./timeline_trace
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
 #include "machine/machine.hh"
+#include "trace/text_dump.hh"
 
 using namespace latr;
 
 namespace
 {
 
-struct TraceLine
-{
-    Tick at;
-    std::string text;
-};
-
-std::vector<TraceLine> trace;
-
+/** Record one narrative line at @p at. */
 void
-emit(Tick at, const std::string &text)
+emit(TraceRecorder &trace, Tick at, const std::string &text)
 {
-    trace.push_back({at, text});
+    trace.instant("timeline", trace.intern(text), at);
 }
 
+/** Print the recorded narrative, timestamps relative to @p origin. */
 void
-flushTrace(Tick origin)
+flushTrace(TraceRecorder &trace, Tick origin)
 {
-    for (const TraceLine &line : trace)
-        std::printf("  t=%8.2f us  %s\n",
-                    (line.at - origin) / 1000.0, line.text.c_str());
-    trace.clear();
+    TextDumpOptions options;
+    options.origin = origin;
+    options.categoryFilter = "timeline";
+    options.detail = false;
+    writeTextTimeline(trace, options, stdout);
     std::printf("\n");
 }
 
@@ -44,6 +44,8 @@ void
 munmapTimeline(PolicyKind policy)
 {
     Machine machine(MachineConfig::commodity2S16C(), policy);
+    TraceRecorder &trace = machine.trace();
+    trace.setEnabled(true);
     Kernel &kernel = machine.kernel();
     Process *p = kernel.createProcess("A");
     Task *c1 = kernel.spawnTask(p, 1);
@@ -62,16 +64,18 @@ munmapTimeline(PolicyKind policy)
     std::printf("--- Figure 2%s: munmap(1 page) under %s ---\n",
                 policy == PolicyKind::LinuxSync ? "a" : "b",
                 machine.policy().name());
-    emit(origin, "core 2: munmap() — clear PTE, local TLB inv");
+    emit(trace, origin,
+         "core 2: munmap() — clear PTE, local TLB inv");
     SyscallResult u = kernel.munmap(c2, m.addr, kPageSize);
     if (policy == PolicyKind::LinuxSync) {
-        emit(origin, "core 2: send IPIs to cores 1 and 3, wait");
+        emit(trace, origin, "core 2: send IPIs to cores 1 and 3, wait");
     } else {
-        emit(machine.now() + u.shootdown,
+        emit(trace, machine.now() + u.shootdown,
              "core 2: LATR state saved (no IPI, no wait); "
              "page on lazy list");
     }
-    emit(origin + u.latency, "core 2: munmap() returns to the app");
+    emit(trace, origin + u.latency,
+         "core 2: munmap() returns to the app");
 
     // Watch the remote entries disappear.
     Tick swept1 = 0, swept3 = 0;
@@ -83,12 +87,14 @@ munmapTimeline(PolicyKind policy)
         if (!swept3 && !machine.scheduler().tlbOf(3).probe(vpn, 0))
             swept3 = machine.now();
     }
-    emit(swept1, policy == PolicyKind::LinuxSync
-                     ? "core 1: IPI handler invalidated TLB, ACKed"
-                     : "core 1: scheduler tick swept state, TLB inv");
-    emit(swept3, policy == PolicyKind::LinuxSync
-                     ? "core 3: IPI handler invalidated TLB, ACKed"
-                     : "core 3: scheduler tick swept state, TLB inv");
+    emit(trace, swept1,
+         policy == PolicyKind::LinuxSync
+             ? "core 1: IPI handler invalidated TLB, ACKed"
+             : "core 1: scheduler tick swept state, TLB inv");
+    emit(trace, swept3,
+         policy == PolicyKind::LinuxSync
+             ? "core 3: IPI handler invalidated TLB, ACKed"
+             : "core 3: scheduler tick swept state, TLB inv");
 
     // And the frame return to the pool.
     Tick freed = 0;
@@ -97,10 +103,11 @@ munmapTimeline(PolicyKind policy)
         if (machine.frames().allocatedFrames() == 0)
             freed = machine.now();
     }
-    emit(freed, policy == PolicyKind::LinuxSync
-                    ? "page freed (after the last ACK)"
-                    : "background thread reclaimed page (~2 ms)");
-    flushTrace(origin);
+    emit(trace, freed,
+         policy == PolicyKind::LinuxSync
+             ? "page freed (after the last ACK)"
+             : "background thread reclaimed page (~2 ms)");
+    flushTrace(trace, origin);
 }
 
 /** Figure 3: AutoNUMA sampling timeline on two sockets. */
@@ -108,6 +115,8 @@ void
 numaTimeline(PolicyKind policy)
 {
     Machine machine(MachineConfig::commodity2S16C(), policy);
+    TraceRecorder &trace = machine.trace();
+    trace.setEnabled(true);
     Kernel &kernel = machine.kernel();
     Process *p = kernel.createProcess("A");
     Task *c1 = kernel.spawnTask(p, 1);      // node 0
@@ -126,12 +135,15 @@ numaTimeline(PolicyKind policy)
                 machine.policy().name());
     Duration d = kernel.numaSample(c1, vpn);
     if (policy == PolicyKind::LinuxSync) {
-        emit(origin, "scan: clear PTE (prot-none), local TLB inv");
-        emit(origin + d, "scan: IPI round-trip done — sampling paid "
-                         "a full shootdown");
+        emit(trace, origin,
+             "scan: clear PTE (prot-none), local TLB inv");
+        emit(trace, origin + d,
+             "scan: IPI round-trip done — sampling paid "
+             "a full shootdown");
     } else {
-        emit(origin + d, "scan: LATR migration state saved; PTE "
-                         "untouched, no IPI");
+        emit(trace, origin + d,
+             "scan: LATR migration state saved; PTE "
+             "untouched, no IPI");
         // First sweeping core performs the unmap.
         Tick cleared = 0;
         while (!cleared && machine.now() < origin + 3 * kMsec) {
@@ -140,19 +152,21 @@ numaTimeline(PolicyKind policy)
             if (pte && pte->protNone())
                 cleared = machine.now();
         }
-        emit(cleared, "first sweeping core: deferred 'Clear PTE' + "
-                      "local TLB inv (scheduler tick)");
+        emit(trace, cleared,
+             "first sweeping core: deferred 'Clear PTE' + "
+             "local TLB inv (scheduler tick)");
     }
 
     machine.run(2 * kMsec);
     // The next remote touch takes the hint fault.
     TouchResult t = kernel.touch(c9, m.addr, false);
     if (t.kind == TouchKind::NumaFault)
-        emit(machine.now(), "core 9: NUMA-hint fault — candidate "
-                            "for migration to node 1");
+        emit(trace, machine.now(),
+             "core 9: NUMA-hint fault — candidate "
+             "for migration to node 1");
     else
-        emit(machine.now(), "core 9: touch proceeded");
-    flushTrace(origin);
+        emit(trace, machine.now(), "core 9: touch proceeded");
+    flushTrace(trace, origin);
 }
 
 } // namespace

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace latr
 {
 
@@ -23,6 +25,8 @@ IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
     result.allAcked = start;
     result.sendsDone = start;
 
+    const bool tracing = trace_ && trace_->enabled();
+
     Tick send_clock = start;
     targets.forEach([&](CoreId target) {
         if (target == initiator)
@@ -30,6 +34,7 @@ IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
         const unsigned hops = topo_.hops(initiator, target);
 
         // ICR writes serialize on the initiating core.
+        const Tick send_begin = send_clock;
         send_clock += cost_.ipiSendCost(hops);
 
         const Tick delivered = send_clock + cost_.ipiDeliveryCost(hops);
@@ -37,6 +42,24 @@ IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
             cost_.ipiHandlerFixed + handler_cost(target);
         const Tick handler_done = delivered + handler;
         const Tick acked = handler_done + cost_.cachelineCost(hops);
+
+        if (tracing) {
+            // The ICR write on the initiator, the handler on the
+            // target, and the ACK's arrival back home — the three
+            // legs the paper's figure 2a timeline is built from.
+            const SpanId send = trace_->beginSpan(
+                "ipi", "ipi.send", send_begin, initiator,
+                kTraceNoMm, target);
+            trace_->endSpan(send, send_clock);
+            const SpanId h = trace_->beginSpan(
+                "ipi", "ipi.handler", delivered, target, kTraceNoMm,
+                initiator);
+            trace_->endSpan(h, handler_done);
+            const SpanId ack = trace_->beginSpan(
+                "ipi", "ipi.ack", handler_done, target, kTraceNoMm,
+                initiator);
+            trace_->endSpan(ack, acked);
+        }
 
         if (on_deliver) {
             queue_.scheduleLambda(delivered, [on_deliver, target,

@@ -23,6 +23,8 @@
 namespace latr
 {
 
+class TraceRecorder;
+
 /**
  * Outcome of an IPI broadcast, computed at send time (the cost model
  * makes handler durations known up front, so the completion tick is
@@ -52,6 +54,9 @@ class IpiFabric
 
     IpiFabric(const IpiFabric &) = delete;
     IpiFabric &operator=(const IpiFabric &) = delete;
+
+    /** Attach the trace recorder (nullptr to detach). */
+    void setTracer(TraceRecorder *trace) { trace_ = trace; }
 
     /**
      * Broadcast an IPI from @p initiator to every core in
@@ -85,6 +90,7 @@ class IpiFabric
     EventQueue &queue_;
     const NumaTopology &topo_;
     const CostModel &cost_;
+    TraceRecorder *trace_ = nullptr;
 
     std::uint64_t ipisSent_ = 0;
     std::uint64_t broadcasts_ = 0;

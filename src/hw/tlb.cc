@@ -1,6 +1,7 @@
 #include "hw/tlb.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace latr
 {
@@ -217,6 +218,9 @@ Tlb::invalidatePage(Vpn vpn, Pcid pcid)
 void
 Tlb::invalidateRange(Vpn start_vpn, Vpn end_vpn, Pcid pcid)
 {
+    if (trace_)
+        trace_->instantNow("hw", "tlb.inv_range", core_, kTraceNoMm,
+                           end_vpn - start_vpn + 1);
     // Collect first: removal invalidates iterators.
     auto in_range = [&](const Entry &e) {
         return e.key.pcid == pcid && e.key.vpn >= start_vpn &&
@@ -248,6 +252,9 @@ Tlb::invalidateRange(Vpn start_vpn, Vpn end_vpn, Pcid pcid)
 void
 Tlb::invalidatePcid(Pcid pcid)
 {
+    if (trace_)
+        trace_->instantNow("hw", "tlb.inv_pcid", core_, kTraceNoMm,
+                           pcid);
     auto match = [&](const Entry &e) { return e.key.pcid == pcid; };
     for (const Key &k : l1_.keysMatching(match)) {
         Entry removed;
@@ -270,6 +277,9 @@ void
 Tlb::flushAll()
 {
     ++flushes_;
+    if (trace_)
+        trace_->instantNow("hw", "tlb.flush_all", core_, kTraceNoMm,
+                           size());
     if (listener_) {
         l1_.forEach([&](const Entry &e) { notifyRemove(e); });
         l2_.forEach([&](const Entry &e) { notifyRemove(e); });

@@ -22,6 +22,8 @@
 namespace latr
 {
 
+class TraceRecorder;
+
 /** Observes TLB content changes (used by the invariant checker). */
 class TlbListener
 {
@@ -69,6 +71,13 @@ class Tlb
 
     /** Attach @p listener (may be nullptr to detach). */
     void setListener(TlbListener *listener) { listener_ = listener; }
+
+    /**
+     * Attach the trace recorder (nullptr to detach). Flushes and
+     * range invalidations emit instants; lookups stay silent (they
+     * are the simulator's hottest path).
+     */
+    void setTracer(TraceRecorder *trace) { trace_ = trace; }
 
     /**
      * Look up @p vpn under @p pcid. On an L2 hit the entry is
@@ -220,6 +229,7 @@ class Tlb
     Level l2_;
     Level huge_; // separate 2 MiB-entry array
     TlbListener *listener_ = nullptr;
+    TraceRecorder *trace_ = nullptr;
 
     std::uint64_t l1Hits_ = 0;
     std::uint64_t l2Hits_ = 0;

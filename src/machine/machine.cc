@@ -12,6 +12,11 @@ Machine::Machine(MachineConfig config, PolicyKind policy_kind,
       sched_(queue_, topo_, config_),
       kernel_(queue_, topo_, config_, frames_, sched_, stats_)
 {
+    trace_.attachClock(&queue_);
+    kernel_.setTracer(&trace_);
+    sched_.setTracer(&trace_);
+    ipi_.setTracer(&trace_);
+
     llcs_.reserve(config_.sockets);
     for (unsigned s = 0; s < config_.sockets; ++s) {
         llcs_.push_back(std::make_unique<LlcCache>(
@@ -34,6 +39,7 @@ Machine::Machine(MachineConfig config, PolicyKind policy_kind,
     env.ipi = &ipi_;
     env.cores = &sched_;
     env.stats = &stats_;
+    env.trace = &trace_;
     for (auto &llc : llcs_)
         env.llcs.push_back(llc.get());
     policy_ = makePolicy(policy_kind, std::move(env));

@@ -24,6 +24,7 @@
 #include "tlbcoh/policy.hh"
 #include "topo/machine_config.hh"
 #include "topo/topology.hh"
+#include "trace/trace.hh"
 
 namespace latr
 {
@@ -53,6 +54,8 @@ class Machine
     const NumaTopology &topo() const { return topo_; }
     EventQueue &queue() { return queue_; }
     StatRegistry &stats() { return stats_; }
+    /** Event tracing; disabled by default (trace().setEnabled()). */
+    TraceRecorder &trace() { return trace_; }
     FrameAllocator &frames() { return frames_; }
     IpiFabric &ipi() { return ipi_; }
     Scheduler &scheduler() { return sched_; }
@@ -83,6 +86,7 @@ class Machine
     NumaTopology topo_;
     EventQueue queue_;
     StatRegistry stats_;
+    TraceRecorder trace_;
     FrameAllocator frames_;
     std::vector<std::unique_ptr<LlcCache>> llcs_;
     IpiFabric ipi_;

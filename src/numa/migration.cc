@@ -1,5 +1,7 @@
 #include "numa/migration.hh"
 
+#include "trace/trace.hh"
+
 namespace latr
 {
 
@@ -43,6 +45,7 @@ PageMigrator::migrateToFrame(Task *task, Vpn vpn, Pfn fresh,
 
     const CostModel &cost = kernel_.cost();
     const CoreId core = task->core();
+    const Tick begin = kernel_.now();
     Duration spent = cost.migrateBase;
 
     // try_to_unmap: remove the translation, invalidate locally, and
@@ -71,6 +74,13 @@ PageMigrator::migrateToFrame(Task *task, Vpn vpn, Pfn fresh,
 
     ++migrations_;
     kernel_.stats().counter("numa.migrations").inc();
+    if (TraceRecorder *t = kernel_.tracer()) {
+        if (t->enabled()) {
+            const SpanId span = t->beginSpan(
+                "numa", "numa.migrate", begin, core, mm.id(), vpn);
+            t->endSpan(span, begin + spent);
+        }
+    }
     if (moved_out)
         *moved_out = true;
     return spent;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace latr
 {
@@ -88,6 +89,18 @@ Kernel::exitProcess(Process *process)
         for (const auto &page : ur.hugePages)
             frames_.putHuge(page.second);
     }
+}
+
+void
+Kernel::traceSyscall(const char *name, Tick begin,
+                     const SyscallResult &res, CoreId core, MmId mm,
+                     std::uint64_t npages)
+{
+    if (!trace_ || !trace_->enabled())
+        return;
+    const SpanId span =
+        trace_->beginSpan("vm", name, begin, core, mm, npages);
+    trace_->endSpan(span, begin + res.latency);
 }
 
 Duration
@@ -205,6 +218,7 @@ Kernel::munmap(Task *task, Addr addr, std::uint64_t len, bool sync)
         .sample(static_cast<double>(res.latency));
     stats_.distribution("munmap.shootdown_ns")
         .sample(static_cast<double>(pol));
+    traceSyscall("sys.munmap", now, res, core, mm.id(), npages);
     return res;
 }
 
@@ -262,6 +276,7 @@ Kernel::madvise(Task *task, Addr addr, std::uint64_t len)
     res.shootdown = pol;
     res.latency = (shoot_at + pol) - now;
     stats_.counter("sys.madvise").inc();
+    traceSyscall("sys.madvise", now, res, core, mm.id(), npages);
     return res;
 }
 
@@ -302,6 +317,7 @@ Kernel::mprotect(Task *task, Addr addr, std::uint64_t len,
     res.shootdown = pol;
     res.latency = (shoot_at + pol) - now;
     stats_.counter("sys.mprotect").inc();
+    traceSyscall("sys.mprotect", now, res, core, mm.id(), npages);
     return res;
 }
 
@@ -345,6 +361,7 @@ Kernel::mremap(Task *task, Addr old_addr, std::uint64_t old_len,
     res.shootdown = pol;
     res.latency = (shoot_at + pol) - now;
     stats_.counter("sys.mremap").inc();
+    traceSyscall("sys.mremap", now, res, core, mm.id(), npages);
     return res;
 }
 
@@ -383,6 +400,7 @@ Kernel::markCow(Task *task, Addr addr, std::uint64_t len)
     res.shootdown = pol;
     res.latency = (shoot_at + pol) - now;
     stats_.counter("sys.markcow").inc();
+    traceSyscall("sys.markcow", now, res, core, mm.id(), npages);
     return res;
 }
 
@@ -469,15 +487,25 @@ Kernel::touch(Task *task, Addr addr, bool is_write)
             mm.mmapSem().acquireRead(now, r.latency / 2);
         r.latency += at - now;
     }
+    const bool tracing = trace_ && trace_->enabled();
     switch (r.kind) {
       case TouchKind::MinorFault:
         stats_.counter("vm.minor_faults").inc();
+        if (tracing)
+            trace_->instantNow("vm", "vm.minor_fault", core,
+                               mm.id(), pageOf(addr));
         break;
       case TouchKind::NumaFault:
         stats_.counter("vm.numa_faults").inc();
+        if (tracing)
+            trace_->instantNow("vm", "vm.numa_fault", core,
+                               mm.id(), pageOf(addr));
         break;
       case TouchKind::SegFault:
         stats_.counter("vm.segfaults").inc();
+        if (tracing)
+            trace_->instantNow("vm", "vm.segfault", core,
+                               mm.id(), pageOf(addr));
         break;
       default:
         break;

@@ -32,6 +32,8 @@
 namespace latr
 {
 
+class TraceRecorder;
+
 /** Result of a simulated system call. */
 struct SyscallResult
 {
@@ -57,6 +59,11 @@ class Kernel
 
     /** Attach the coherence policy (also wired into the scheduler). */
     void setPolicy(TlbCoherencePolicy *policy);
+
+    /** Attach the trace recorder (null or disabled: zero overhead). */
+    void setTracer(TraceRecorder *trace) { trace_ = trace; }
+
+    TraceRecorder *tracer() const { return trace_; }
 
     TlbCoherencePolicy *policy() const { return policy_; }
 
@@ -147,6 +154,11 @@ class Kernel
     /** CoW write-fault resolution (used via TouchHooks). */
     Duration breakCow(Task *task, Vpn vpn);
 
+    /** Emit a [now, now+latency] span for a completed syscall. */
+    void traceSyscall(const char *name, Tick begin,
+                      const SyscallResult &res, CoreId core, MmId mm,
+                      std::uint64_t npages);
+
     EventQueue &queue_;
     const NumaTopology &topo_;
     const MachineConfig &config_;
@@ -154,6 +166,7 @@ class Kernel
     Scheduler &sched_;
     StatRegistry &stats_;
     TlbCoherencePolicy *policy_ = nullptr;
+    TraceRecorder *trace_ = nullptr;
 
     std::function<Duration(Vpn, CoreId)> numaFaultHook_;
 

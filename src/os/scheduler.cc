@@ -5,6 +5,7 @@
 #include "os/process.hh"
 #include "sim/logging.hh"
 #include "tlbcoh/policy.hh"
+#include "trace/trace.hh"
 #include "vm/address_space.hh"
 
 namespace latr
@@ -27,6 +28,14 @@ Scheduler::Scheduler(EventQueue &queue, const NumaTopology &topo,
 Scheduler::~Scheduler()
 {
     stop();
+}
+
+void
+Scheduler::setTracer(TraceRecorder *trace)
+{
+    trace_ = trace;
+    for (auto &cs : cores_)
+        cs.tlb->setTracer(trace);
 }
 
 void
@@ -125,6 +134,8 @@ Duration
 Scheduler::switchTo(CoreState &cs, Task *next)
 {
     Duration spent = config_.cost.ctxSwitch;
+    if (trace_)
+        trace_->instant("os", "sched.ctxswitch", queue_.now(), cs.id);
     // The coherence policy observes every switch (LATR sweeps here)
     // before any flush, mirroring the patch's hook in __schedule.
     if (policy_)
@@ -225,6 +236,8 @@ Scheduler::tick(CoreId core)
     if (!(idle && config_.ticklessIdle)) {
         ++ticksProcessed_;
         chargeStolen(core, config_.cost.schedTickFixed);
+        if (trace_)
+            trace_->instant("os", "sched.tick", queue_.now(), core);
         if (policy_)
             policy_->onSchedulerTick(core, queue_.now());
         // Timeslice rotation when the core is oversubscribed.

@@ -31,6 +31,7 @@ namespace latr
 {
 
 class TlbCoherencePolicy;
+class TraceRecorder;
 
 /** The machine's scheduler; also the CoreService policies see. */
 class Scheduler : public CoreService
@@ -46,6 +47,9 @@ class Scheduler : public CoreService
 
     /** Attach the coherence policy whose hooks ticks invoke. */
     void setPolicy(TlbCoherencePolicy *policy) { policy_ = policy; }
+
+    /** Attach the trace recorder (propagated to every core's TLB). */
+    void setTracer(TraceRecorder *trace);
 
     /** Begin firing scheduler ticks. Idempotent. */
     void start();
@@ -124,6 +128,7 @@ class Scheduler : public CoreService
     const NumaTopology &topo_;
     const MachineConfig &config_;
     TlbCoherencePolicy *policy_ = nullptr;
+    TraceRecorder *trace_ = nullptr;
 
     struct CoreState
     {

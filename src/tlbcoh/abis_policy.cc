@@ -1,6 +1,7 @@
 #include "tlbcoh/abis_policy.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace latr
 {
@@ -53,6 +54,12 @@ AbisPolicy::onFreePages(FreeOpContext ctx, Tick start)
     const Duration scan =
         cost().abisPerPageScan *
         static_cast<Duration>(ctx.pages.size() + ctx.hugePages.size());
+    if (TraceRecorder *t = tracer()) {
+        const SpanId span =
+            t->beginSpan("abis", "abis.sharer_scan", start,
+                         ctx.initiator, ctx.mm->id(), npages);
+        t->endSpan(span, start + scan);
+    }
 
     Duration wait = 0;
     if (!sharers.empty() && npages > 0) {
@@ -61,6 +68,9 @@ AbisPolicy::onFreePages(FreeOpContext ctx, Tick start)
                             start + scan);
     } else {
         env_.stats->counter("abis.shootdowns_avoided").inc();
+        if (TraceRecorder *t = tracer())
+            t->instant("abis", "abis.shootdown_avoided", start + scan,
+                       ctx.initiator, ctx.mm->id(), npages);
     }
 
     const Tick free_at = start + scan + wait;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hh"
+
 namespace latr
 {
 
@@ -66,7 +68,21 @@ BarrelfishPolicy::messageShootdown(AddressSpace *mm, CoreId initiator,
         const Tick acked =
             applied_at + inval + cost().cachelineCost(hops);
         all_acked = std::max(all_acked, acked);
+
+        if (TraceRecorder *t = tracer()) {
+            // Channel write visible -> poll noticed -> invalidated.
+            const SpanId span = t->beginSpan(
+                "bf", "bf.msg_apply", visible, target, mm->id(),
+                npages);
+            t->endSpan(span, applied_at + inval);
+        }
     });
+    if (TraceRecorder *t = tracer()) {
+        const SpanId span = t->beginSpan("bf", "bf.msg_shootdown",
+                                         start, initiator, mm->id(),
+                                         npages);
+        t->endSpan(span, all_acked);
+    }
     return all_acked - start;
 }
 

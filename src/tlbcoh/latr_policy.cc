@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace latr
 {
@@ -67,8 +68,12 @@ LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
     if (!slot) {
         // Ring full (or sync requested): fall back to IPIs
         // (section 8), behaving exactly like the Linux baseline.
-        if (!ctx.syncRequested)
+        if (!ctx.syncRequested) {
             env_.stats->counter("latr.fallback_ipis").inc();
+            if (TraceRecorder *t = tracer())
+                t->instant("latr", "latr.ring_full_fallback", start,
+                           ctx.initiator, ctx.mm->id());
+        }
         CpuMask targets = remoteTargets(ctx.mm, ctx.initiator);
         const std::uint64_t npages =
             ctx.pages.size() + ctx.hugePages.size() * kHugePageSpan;
@@ -115,6 +120,13 @@ LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
         ctx.mm->holdbackRange(slot->vaStart, slot->vaEnd);
 
     env_.stats->counter("latr.states_saved").inc();
+    if (TraceRecorder *t = tracer()) {
+        const SpanId span = t->beginSpan(
+            "latr", "latr.state_save", start, ctx.initiator,
+            ctx.mm->id(),
+            slot->pages.size() + slot->hugePages.size());
+        t->endSpan(span, start + cost().latrStateSave);
+    }
 
     if (slot->cpuMask.empty()) {
         // No remote core can hold an entry; skip straight to the
@@ -124,6 +136,9 @@ LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
         active_.push_back(slot);
     }
     scheduleReclaimPass(slot->savedAt + cost().latrReclaimDelay + 1);
+    if (TraceRecorder *t = tracer())
+        t->counter("latr", "latr.lazy_bytes", start,
+                   static_cast<double>(lazyBytes()));
 
     return cost().latrStateSave;
 }
@@ -151,6 +166,12 @@ LatrPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
     env_.stats->counter("coh.shootdowns").inc();
     env_.stats->counter("numa.samples").inc();
     env_.stats->counter("latr.states_saved").inc();
+    if (TraceRecorder *t = tracer()) {
+        const SpanId span = t->beginSpan(
+            "latr", "latr.migration_state_save", start, initiator,
+            mm->id(), vpn);
+        t->endSpan(span, start + cost().latrStateSave);
+    }
 
     slot->phase = LatrStatePhase::Active;
     slot->kind = LatrStateKind::Migration;
@@ -259,6 +280,16 @@ LatrPolicy::sweep(CoreId core, Tick now)
     spent += matches * cost().latrSweepPerMatch;
     env_.stats->counter("latr.sweep_matches").inc(matches);
     env_.cores->chargeStolen(core, spent);
+    if (TraceRecorder *t = tracer()) {
+        // The per-tick state sweep (figure 2b's remote half). Idle
+        // sweeps (no matches) are elided to keep the trace readable.
+        if (matches > 0) {
+            const SpanId span = t->beginSpan("latr", "latr.sweep",
+                                             now, core, kTraceNoMm,
+                                             matches);
+            t->endSpan(span, now + spent);
+        }
+    }
 
     // The sweep reads every core's state block through the cache
     // hierarchy; the footprint is tiny and hot (table 4's point).
@@ -311,6 +342,10 @@ LatrPolicy::reclaimState(LatrState *state)
 {
     // Free the frames, release the virtual range, charge the
     // background thread's work to the ring owner.
+    const std::uint64_t npages =
+        state->pages.size() + state->hugePages.size() * kHugePageSpan;
+    const MmId mm_id = state->mm ? state->mm->id() : kTraceNoMm;
+    const CoreId owner = state->owner;
     Duration spent = 0;
     for (const auto &page : state->pages) {
         state->mm->frames().put(page.second);
@@ -330,6 +365,14 @@ LatrPolicy::reclaimState(LatrState *state)
     state->hugePages.clear();
     state->mm = nullptr;
     state->phase = LatrStatePhase::Empty;
+    if (TraceRecorder *t = tracer()) {
+        // Background reclamation: the lazily freed pages finally
+        // return to the allocator (~2 ms after the munmap).
+        const Tick now = env_.queue->now();
+        const SpanId span = t->beginSpan("latr", "latr.reclaim", now,
+                                         owner, mm_id, npages);
+        t->endSpan(span, now + spent);
+    }
 }
 
 void

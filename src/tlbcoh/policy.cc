@@ -1,6 +1,7 @@
 #include "tlbcoh/policy.hh"
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 #include "tlbcoh/abis_policy.hh"
 #include "tlbcoh/barrelfish_policy.hh"
 #include "tlbcoh/latr_policy.hh"
@@ -15,6 +16,12 @@ TlbCoherencePolicy::TlbCoherencePolicy(PolicyEnv env)
     if (!env_.queue || !env_.topo || !env_.config || !env_.frames ||
         !env_.ipi || !env_.cores || !env_.stats)
         panic("PolicyEnv is missing a required service");
+}
+
+TraceRecorder *
+TlbCoherencePolicy::tracer() const
+{
+    return env_.trace && env_.trace->enabled() ? env_.trace : nullptr;
 }
 
 Tick
@@ -103,6 +110,12 @@ TlbCoherencePolicy::ipiShootdown(AddressSpace *mm, CoreId initiator,
 
     IpiBroadcastResult r = env_.ipi->broadcast(
         initiator, targets, start, handler_cost, on_deliver);
+    if (TraceRecorder *t = tracer()) {
+        const SpanId span = t->beginSpan(
+            "coh", "coh.ipi_shootdown", start, initiator, mm->id(),
+            npages);
+        t->endSpan(span, r.allAcked);
+    }
     return r.allAcked - start;
 }
 
@@ -113,8 +126,16 @@ TlbCoherencePolicy::onSyncShootdown(AddressSpace *mm, CoreId initiator,
 {
     env_.stats->counter("coh.sync_ops").inc();
     CpuMask targets = remoteTargets(mm, initiator);
-    return ipiShootdown(mm, initiator, targets, start_vpn, end_vpn,
-                        npages, start);
+    const Duration wait = ipiShootdown(mm, initiator, targets,
+                                       start_vpn, end_vpn, npages,
+                                       start);
+    if (TraceRecorder *t = tracer()) {
+        const SpanId span = t->beginSpan("coh", "coh.sync_shootdown",
+                                         start, initiator, mm->id(),
+                                         npages);
+        t->endSpan(span, start + wait);
+    }
+    return wait;
 }
 
 std::unique_ptr<TlbCoherencePolicy>

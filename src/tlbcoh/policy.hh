@@ -34,6 +34,8 @@
 namespace latr
 {
 
+class TraceRecorder;
+
 /** Selects a TLB-coherence policy implementation. */
 enum class PolicyKind
 {
@@ -53,6 +55,8 @@ struct PolicyEnv
     IpiFabric *ipi = nullptr;
     CoreService *cores = nullptr;
     StatRegistry *stats = nullptr;
+    /** Event tracing; optional (policies must tolerate nullptr). */
+    TraceRecorder *trace = nullptr;
     /** Per-socket LLCs for pollution modeling; may be empty. */
     std::vector<LlcCache *> llcs;
 };
@@ -185,6 +189,9 @@ class TlbCoherencePolicy
     void polluteLlc(CoreId core);
 
     const CostModel &cost() const { return env_.config->cost; }
+
+    /** The recorder, or nullptr when tracing is not wired/enabled. */
+    TraceRecorder *tracer() const;
 
     PolicyEnv env_;
 

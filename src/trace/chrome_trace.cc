@@ -1,0 +1,213 @@
+#include "trace/chrome_trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "topo/topology.hh"
+
+namespace latr
+{
+
+namespace
+{
+
+/** JSON string escape (labels are identifiers, but be safe). */
+std::string
+jsonEscape(const char *s)
+{
+    std::string out;
+    for (const char *p = s; *p; ++p) {
+        const char c = *p;
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Ticks (ns) to chrome-trace microseconds. */
+double
+tsOf(Tick at)
+{
+    return static_cast<double>(at) / 1000.0;
+}
+
+struct TrackId
+{
+    std::uint32_t pid;
+    std::uint32_t tid;
+};
+
+/** Socket as pid, core as tid; unattributed records on a synthetic
+ *  "machine" process one past the last socket. */
+TrackId
+trackOf(CoreId core, const NumaTopology *topo)
+{
+    if (core == kTraceNoCore) {
+        const std::uint32_t machine_pid =
+            topo ? topo->sockets() : 1;
+        return {machine_pid, 0};
+    }
+    const std::uint32_t pid =
+        topo && core < topo->totalCores() ? topo->nodeOf(core) : 0;
+    return {pid, core + 1};
+}
+
+void
+writeCommonFields(std::ostream &os, const TraceRecord &r,
+                  const TrackId &track)
+{
+    os << "\"name\":\"" << jsonEscape(r.name) << "\",\"cat\":\""
+       << jsonEscape(*r.category ? r.category : "latr")
+       << "\",\"pid\":" << track.pid << ",\"tid\":" << track.tid
+       << ",\"ts\":" << tsOf(r.at);
+}
+
+void
+writeArgs(std::ostream &os, const TraceRecord &r)
+{
+    os << ",\"args\":{\"mm\":" << r.mm << ",\"arg\":" << r.arg << "}";
+}
+
+} // namespace
+
+void
+writeChromeTrace(const TraceRecorder &recorder,
+                 const NumaTopology *topo, std::ostream &os)
+{
+    std::vector<TraceRecord> records = recorder.snapshot();
+
+    // Pair spans: begin records indexed by id, matched to the end
+    // record's tick. A begin whose end was never emitted (or was
+    // overwritten by ring wraparound) closes at the last tick seen,
+    // so partial traces still load.
+    std::unordered_map<SpanId, Tick> span_end;
+    Tick last_tick = 0;
+    for (const TraceRecord &r : records) {
+        last_tick = std::max(last_tick, r.at);
+        if (r.kind == TraceKind::SpanEnd)
+            span_end[r.id] = r.at;
+    }
+
+    // Stable-sort by tick: instrumentation often emits a span's end
+    // (computed up front) before later records with earlier ticks.
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.at < b.at;
+                     });
+
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+    };
+
+    // Track-naming metadata: sockets as processes, cores as threads.
+    const std::uint32_t sockets = topo ? topo->sockets() : 1;
+    for (std::uint32_t s = 0; s < sockets; ++s) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << s
+           << ",\"args\":{\"name\":\"socket " << s << "\"}}";
+    }
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << sockets
+       << ",\"args\":{\"name\":\"machine\"}}";
+    if (topo) {
+        for (CoreId c = 0; c < topo->totalCores(); ++c) {
+            const TrackId track = trackOf(c, topo);
+            sep();
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":"
+               << track.pid << ",\"tid\":" << track.tid
+               << ",\"args\":{\"name\":\"core " << c << "\"}}";
+        }
+    }
+
+    for (const TraceRecord &r : records) {
+        const TrackId track = trackOf(r.core, topo);
+        switch (r.kind) {
+          case TraceKind::SpanBegin: {
+            auto it = span_end.find(r.id);
+            const Tick end = it != span_end.end()
+                                 ? std::max(it->second, r.at)
+                                 : std::max(last_tick, r.at);
+            sep();
+            os << "{";
+            writeCommonFields(os, r, track);
+            os << ",\"ph\":\"X\",\"dur\":" << tsOf(end - r.at);
+            writeArgs(os, r);
+            os << "}";
+            break;
+          }
+          case TraceKind::SpanEnd:
+            // Consumed by the matching begin.
+            break;
+          case TraceKind::Instant: {
+            sep();
+            os << "{";
+            writeCommonFields(os, r, track);
+            // Thread scope when attributed to a core, else global.
+            os << ",\"ph\":\"i\",\"s\":\""
+               << (r.core == kTraceNoCore ? "g" : "t") << "\"";
+            writeArgs(os, r);
+            os << "}";
+            break;
+          }
+          case TraceKind::Counter: {
+            sep();
+            os << "{";
+            writeCommonFields(os, r, track);
+            os << ",\"ph\":\"C\",\"args\":{\"value\":" << r.value
+               << "}}";
+            break;
+          }
+        }
+    }
+    os << "\n]}\n";
+}
+
+std::string
+chromeTraceJson(const TraceRecorder &recorder, const NumaTopology *topo)
+{
+    std::ostringstream os;
+    writeChromeTrace(recorder, topo, os);
+    return os.str();
+}
+
+bool
+writeChromeTraceFile(const TraceRecorder &recorder,
+                     const NumaTopology *topo, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(recorder, topo, out);
+    return static_cast<bool>(out);
+}
+
+} // namespace latr

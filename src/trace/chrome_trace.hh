@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Chrome-trace sink: renders a TraceRecorder snapshot as the JSON
+ * Trace Event Format that chrome://tracing and Perfetto load
+ * directly. The mapping follows the machine's structure: NUMA
+ * sockets become "processes", cores become "threads", so the
+ * per-core anatomy of a shootdown (the paper's figures 2 and 3)
+ * reads off the timeline visually. Records without core attribution
+ * land on a synthetic "machine" process; counter samples become
+ * counter tracks.
+ */
+
+#ifndef LATR_TRACE_CHROME_TRACE_HH_
+#define LATR_TRACE_CHROME_TRACE_HH_
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace latr
+{
+
+class NumaTopology;
+
+/**
+ * Write the trace as Chrome Trace Event Format JSON.
+ *
+ * @param recorder the recorder to snapshot.
+ * @param topo maps cores to sockets ("processes"); when nullptr,
+ *        every core lands on one process.
+ * @param os destination stream.
+ */
+void writeChromeTrace(const TraceRecorder &recorder,
+                      const NumaTopology *topo, std::ostream &os);
+
+/** As writeChromeTrace, into a string. */
+std::string chromeTraceJson(const TraceRecorder &recorder,
+                            const NumaTopology *topo);
+
+/**
+ * As writeChromeTrace, into the file at @p path.
+ * @return false if the file could not be opened.
+ */
+bool writeChromeTraceFile(const TraceRecorder &recorder,
+                          const NumaTopology *topo,
+                          const std::string &path);
+
+} // namespace latr
+
+#endif // LATR_TRACE_CHROME_TRACE_HH_

@@ -1,0 +1,137 @@
+#include "trace/text_dump.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace latr
+{
+
+namespace
+{
+
+struct SpanInfo
+{
+    const char *category;
+    const char *name;
+    CoreId core;
+    MmId mm;
+    Tick begin;
+};
+
+void
+appendLine(std::string &out, Tick at, Tick origin,
+           const std::string &text)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "  t=%8.2f us  ",
+                  (at - origin) / 1000.0);
+    out += buf;
+    out += text;
+    out += '\n';
+}
+
+std::string
+attribution(CoreId core, MmId mm, std::uint64_t arg)
+{
+    std::string s;
+    char buf[64];
+    if (core != kTraceNoCore) {
+        std::snprintf(buf, sizeof buf, " core=%u", core);
+        s += buf;
+    }
+    if (mm != kTraceNoMm) {
+        std::snprintf(buf, sizeof buf, " mm=%llu",
+                      static_cast<unsigned long long>(mm));
+        s += buf;
+    }
+    if (arg != 0) {
+        std::snprintf(buf, sizeof buf, " arg=%llu",
+                      static_cast<unsigned long long>(arg));
+        s += buf;
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+textTimeline(const TraceRecorder &recorder,
+             const TextDumpOptions &options)
+{
+    std::vector<TraceRecord> records = recorder.snapshot();
+
+    // Span ends carry only the id; remember each begin so the end
+    // line can name it (and compute the duration).
+    std::unordered_map<SpanId, SpanInfo> spans;
+    for (const TraceRecord &r : records)
+        if (r.kind == TraceKind::SpanBegin)
+            spans[r.id] = {r.category, r.name, r.core, r.mm, r.at};
+
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.at < b.at;
+                     });
+
+    auto filtered = [&](const char *category) {
+        return options.categoryFilter != nullptr &&
+               std::strcmp(options.categoryFilter, category) != 0;
+    };
+
+    std::string out;
+    char buf[96];
+    for (const TraceRecord &r : records) {
+        switch (r.kind) {
+          case TraceKind::Instant: {
+            if (filtered(r.category))
+                continue;
+            std::string text = r.name;
+            if (options.detail) {
+                text = std::string("[") + r.category + "] " + r.name +
+                       attribution(r.core, r.mm, r.arg);
+            }
+            appendLine(out, r.at, options.origin, text);
+            break;
+          }
+          case TraceKind::SpanBegin: {
+            if (filtered(r.category) || !options.detail)
+                continue;
+            appendLine(out, r.at, options.origin,
+                       std::string("[") + r.category + "] " + r.name +
+                           " {" + attribution(r.core, r.mm, r.arg));
+            break;
+          }
+          case TraceKind::SpanEnd: {
+            auto it = spans.find(r.id);
+            if (it == spans.end() || filtered(it->second.category) ||
+                !options.detail)
+                continue;
+            std::snprintf(buf, sizeof buf, "} %s (%.2f us)",
+                          it->second.name,
+                          (r.at - it->second.begin) / 1000.0);
+            appendLine(out, r.at, options.origin, buf);
+            break;
+          }
+          case TraceKind::Counter: {
+            if (filtered(r.category) || !options.detail)
+                continue;
+            std::snprintf(buf, sizeof buf, "%s = %g", r.name, r.value);
+            appendLine(out, r.at, options.origin,
+                       std::string("[") + r.category + "] " + buf);
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+void
+writeTextTimeline(const TraceRecorder &recorder,
+                  const TextDumpOptions &options, std::FILE *out)
+{
+    const std::string text = textTimeline(recorder, options);
+    std::fputs(text.c_str(), out);
+}
+
+} // namespace latr

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Text sink: renders a TraceRecorder snapshot as a human-readable
+ * timeline, one line per record, sorted by tick. This is the sink
+ * behind examples/timeline_trace's figure 2/3 output: with
+ * detail off and a category filter, it prints exactly the classic
+ *
+ *     t=   12.34 us  <narrative text>
+ *
+ * lines; with detail on it annotates each line with the category,
+ * core, mm, and span durations — the quick look before reaching for
+ * Perfetto.
+ */
+
+#ifndef LATR_TRACE_TEXT_DUMP_HH_
+#define LATR_TRACE_TEXT_DUMP_HH_
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace latr
+{
+
+/** Rendering options for writeTextTimeline. */
+struct TextDumpOptions
+{
+    /** Tick subtracted from every timestamp before printing. */
+    Tick origin = 0;
+    /** When set, only records with this exact category print. */
+    const char *categoryFilter = nullptr;
+    /**
+     * Annotate lines with [category], core/mm attribution, and span
+     * durations. Off reproduces timeline_trace's bare format.
+     */
+    bool detail = true;
+};
+
+/** Print the trace as a timeline to @p out (e.g. stdout). */
+void writeTextTimeline(const TraceRecorder &recorder,
+                       const TextDumpOptions &options, std::FILE *out);
+
+/** As writeTextTimeline, into a string. */
+std::string textTimeline(const TraceRecorder &recorder,
+                         const TextDumpOptions &options);
+
+} // namespace latr
+
+#endif // LATR_TRACE_TEXT_DUMP_HH_

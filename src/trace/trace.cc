@@ -1,0 +1,147 @@
+#include "trace/trace.hh"
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("TraceRecorder needs a nonzero capacity");
+}
+
+Tick
+TraceRecorder::now() const
+{
+    return clock_ ? clock_->now() : 0;
+}
+
+void
+TraceRecorder::setCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        fatal("TraceRecorder needs a nonzero capacity");
+    capacity_ = capacity;
+    ring_.clear();
+    ring_.shrink_to_fit();
+    writeAt_ = 0;
+    dropped_ = 0;
+}
+
+std::size_t
+TraceRecorder::size() const
+{
+    return ring_.size();
+}
+
+void
+TraceRecorder::clear()
+{
+    ring_.clear();
+    writeAt_ = 0;
+    dropped_ = 0;
+    total_ = 0;
+}
+
+void
+TraceRecorder::push(const TraceRecord &record)
+{
+    ++total_;
+    if (ring_.size() < capacity_) {
+        ring_.push_back(record);
+        return;
+    }
+    // Full: overwrite the oldest record. writeAt_ is the index of
+    // the oldest record once the ring has wrapped.
+    ring_[writeAt_] = record;
+    writeAt_ = (writeAt_ + 1) % capacity_;
+    ++dropped_;
+}
+
+std::vector<TraceRecord>
+TraceRecorder::snapshot() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    // Oldest first: [writeAt_, end) then [0, writeAt_).
+    for (std::size_t i = writeAt_; i < ring_.size(); ++i)
+        out.push_back(ring_[i]);
+    for (std::size_t i = 0; i < writeAt_; ++i)
+        out.push_back(ring_[i]);
+    return out;
+}
+
+SpanId
+TraceRecorder::beginSpanSlow(const char *category, const char *name,
+                             Tick at, CoreId core, MmId mm,
+                             std::uint64_t arg)
+{
+    TraceRecord r;
+    r.at = at;
+    r.id = nextSpan_++;
+    r.category = category;
+    r.name = name;
+    r.kind = TraceKind::SpanBegin;
+    r.core = core;
+    r.mm = mm;
+    r.arg = arg;
+    push(r);
+    return r.id;
+}
+
+void
+TraceRecorder::endSpanSlow(SpanId id, Tick at)
+{
+    TraceRecord r;
+    r.at = at;
+    r.id = id;
+    r.kind = TraceKind::SpanEnd;
+    push(r);
+}
+
+void
+TraceRecorder::instantSlow(const char *category, const char *name,
+                           Tick at, CoreId core, MmId mm,
+                           std::uint64_t arg)
+{
+    TraceRecord r;
+    r.at = at;
+    r.category = category;
+    r.name = name;
+    r.kind = TraceKind::Instant;
+    r.core = core;
+    r.mm = mm;
+    r.arg = arg;
+    push(r);
+}
+
+void
+TraceRecorder::counterSlow(const char *category, const char *name,
+                           Tick at, double value, CoreId core)
+{
+    TraceRecord r;
+    r.at = at;
+    r.category = category;
+    r.name = name;
+    r.kind = TraceKind::Counter;
+    r.core = core;
+    r.value = value;
+    push(r);
+}
+
+const char *
+TraceRecorder::intern(const std::string &text)
+{
+    auto it = internIndex_.find(text);
+    if (it != internIndex_.end())
+        return it->second;
+    internPool_.push_back(text);
+    const char *stable = internPool_.back().c_str();
+    internIndex_.emplace(text, stable);
+    return stable;
+}
+
+} // namespace latr

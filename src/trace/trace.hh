@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Structured event tracing: a low-overhead, per-machine recorder of
+ * typed trace records — begin/end *spans*, *instant* events, and
+ * *counter* samples — held in a bounded ring buffer and attributed
+ * to a core, an address space, and a (category, name) pair. The
+ * recorder is the in-memory half of the subsystem; the sinks
+ * (chrome_trace.hh, text_dump.hh) turn a snapshot into a
+ * Perfetto/chrome://tracing-loadable JSON file or a human-readable
+ * timeline, the latter subsuming examples/timeline_trace's output.
+ *
+ * Design constraints, in order:
+ *  - a *disabled* recorder must cost one predictable branch per
+ *    emission site (every emit method is an inline enabled_ check
+ *    that falls through to a cold out-of-line body);
+ *  - memory is bounded: the ring overwrites the oldest record and
+ *    counts what it dropped, so tracing can stay on for arbitrarily
+ *    long runs;
+ *  - records carry `const char *` labels so the hot path never
+ *    allocates; dynamic labels go through intern() (cold path).
+ */
+
+#ifndef LATR_TRACE_TRACE_HH_
+#define LATR_TRACE_TRACE_HH_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace latr
+{
+
+class EventQueue;
+
+/** Identifies one begin/end span pair. 0 means "no span". */
+using SpanId = std::uint64_t;
+
+constexpr SpanId kSpanNone = 0;
+
+/** Attribution sentinel: the record belongs to no particular core. */
+constexpr CoreId kTraceNoCore = std::numeric_limits<CoreId>::max();
+
+/** Attribution sentinel: the record belongs to no address space. */
+constexpr MmId kTraceNoMm = 0;
+
+/** The type of one trace record. */
+enum class TraceKind : std::uint8_t
+{
+    SpanBegin, ///< opens the span identified by `id`
+    SpanEnd,   ///< closes the span identified by `id`
+    Instant,   ///< a point event
+    Counter,   ///< a sampled value (rendered as a counter track)
+};
+
+/** One fixed-size record in the ring buffer. */
+struct TraceRecord
+{
+    Tick at = 0;
+    SpanId id = kSpanNone;
+    /** Static or interned strings; never owned by the record. */
+    const char *category = "";
+    const char *name = "";
+    TraceKind kind = TraceKind::Instant;
+    CoreId core = kTraceNoCore;
+    MmId mm = kTraceNoMm;
+    /** Free-form integer payload (page counts, target cores, ...). */
+    std::uint64_t arg = 0;
+    /** Counter records: the sampled value. */
+    double value = 0.0;
+};
+
+/**
+ * The per-machine trace recorder. Off by default; when off, every
+ * emission site is a single branch and nothing is written.
+ */
+class TraceRecorder
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    explicit TraceRecorder(std::size_t capacity = kDefaultCapacity);
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /// @name Control
+    /// @{
+
+    bool enabled() const { return enabled_; }
+
+    /** Turn recording on/off. Existing records are kept. */
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /**
+     * Use @p queue as the time source for the emit overloads that do
+     * not pass an explicit tick (e.g. TLB flushes, which have no
+     * notion of time themselves).
+     */
+    void attachClock(const EventQueue *queue) { clock_ = queue; }
+
+    /** Current tick of the attached clock (0 when unattached). */
+    Tick now() const;
+
+    /** Resize the ring (drops recorded content). */
+    void setCapacity(std::size_t capacity);
+
+    /// @}
+
+    /// @name Emission (all single-branch no-ops when disabled)
+    /// @{
+
+    /**
+     * Open a span at @p at. Returns the id to close it with, or
+     * kSpanNone when disabled (endSpan ignores kSpanNone, so call
+     * sites need no second check).
+     */
+    SpanId
+    beginSpan(const char *category, const char *name, Tick at,
+              CoreId core = kTraceNoCore, MmId mm = kTraceNoMm,
+              std::uint64_t arg = 0)
+    {
+        if (!enabled_)
+            return kSpanNone;
+        return beginSpanSlow(category, name, at, core, mm, arg);
+    }
+
+    /** Close span @p id at @p at. No-op for kSpanNone. */
+    void
+    endSpan(SpanId id, Tick at)
+    {
+        if (!enabled_ || id == kSpanNone)
+            return;
+        endSpanSlow(id, at);
+    }
+
+    /** Record a point event. */
+    void
+    instant(const char *category, const char *name, Tick at,
+            CoreId core = kTraceNoCore, MmId mm = kTraceNoMm,
+            std::uint64_t arg = 0)
+    {
+        if (!enabled_)
+            return;
+        instantSlow(category, name, at, core, mm, arg);
+    }
+
+    /** Record a point event at the attached clock's current time. */
+    void
+    instantNow(const char *category, const char *name,
+               CoreId core = kTraceNoCore, MmId mm = kTraceNoMm,
+               std::uint64_t arg = 0)
+    {
+        if (!enabled_)
+            return;
+        instantSlow(category, name, now(), core, mm, arg);
+    }
+
+    /** Sample a counter value (rendered as a counter track). */
+    void
+    counter(const char *category, const char *name, Tick at,
+            double value, CoreId core = kTraceNoCore)
+    {
+        if (!enabled_)
+            return;
+        counterSlow(category, name, at, value, core);
+    }
+
+    /// @}
+
+    /**
+     * Copy @p text into recorder-owned storage and return a stable
+     * pointer usable as a record label. Deduplicated; intended for
+     * cold paths (examples, error annotations), not hot loops.
+     */
+    const char *intern(const std::string &text);
+
+    /// @name Inspection
+    /// @{
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Records currently held (<= capacity). */
+    std::size_t size() const;
+
+    /** Records overwritten because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Records ever emitted while enabled. */
+    std::uint64_t totalRecorded() const { return total_; }
+
+    /** Drop all records (capacity and enablement unchanged). */
+    void clear();
+
+    /**
+     * The held records in emission order. Note ticks are *not*
+     * necessarily nondecreasing: instrumentation often knows an
+     * operation's end tick at its start and emits both immediately.
+     * Sinks sort (stably) by tick.
+     */
+    std::vector<TraceRecord> snapshot() const;
+
+    /// @}
+
+  private:
+    SpanId beginSpanSlow(const char *category, const char *name,
+                         Tick at, CoreId core, MmId mm,
+                         std::uint64_t arg);
+    void endSpanSlow(SpanId id, Tick at);
+    void instantSlow(const char *category, const char *name, Tick at,
+                     CoreId core, MmId mm, std::uint64_t arg);
+    void counterSlow(const char *category, const char *name, Tick at,
+                     double value, CoreId core);
+
+    void push(const TraceRecord &record);
+
+    bool enabled_ = false;
+    const EventQueue *clock_ = nullptr;
+
+    std::size_t capacity_;
+    /** Ring storage; grows to capacity_ then wraps via writeAt_. */
+    std::vector<TraceRecord> ring_;
+    std::size_t writeAt_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t total_ = 0;
+    SpanId nextSpan_ = 1;
+
+    /** Interned dynamic labels (stable addresses). */
+    std::deque<std::string> internPool_;
+    std::unordered_map<std::string, const char *> internIndex_;
+};
+
+} // namespace latr
+
+#endif // LATR_TRACE_TRACE_HH_

@@ -133,6 +133,42 @@ TEST(Distribution, ReservoirKeepsPercentilesPlausibleForLongStreams)
     EXPECT_EQ(d.count(), 200000u);
 }
 
+TEST(Distribution, ReservoirIsNotJustTheFirstNSamples)
+{
+    // If sampling past max_samples merely truncated, the reservoir
+    // would hold only the initial zeros and report p50 = 0. Algorithm
+    // R must instead displace nearly all of them: after 256 zeros,
+    // 100k samples of 1000 follow, so ~99.7% of the stream is 1000.
+    Distribution d(256);
+    for (int i = 0; i < 256; ++i)
+        d.sample(0.0);
+    for (int i = 0; i < 100000; ++i)
+        d.sample(1000.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 1000.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.1), 1000.0);
+    EXPECT_EQ(d.count(), 100256u);
+    // Exact moments are reservoir-independent and must see it all.
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 1000.0);
+}
+
+TEST(Distribution, ReservoirTracksADriftingStream)
+{
+    // A stream whose distribution shifts mid-way: percentiles over
+    // the full stream should land between the two phases, not stick
+    // with the first.
+    Distribution d(512);
+    for (int i = 0; i < 50000; ++i)
+        d.sample(100.0);
+    for (int i = 0; i < 50000; ++i)
+        d.sample(900.0);
+    const double p50 = d.percentile(0.5);
+    EXPECT_TRUE(p50 == 100.0 || p50 == 900.0);
+    // Both phases must be represented at the tails.
+    EXPECT_DOUBLE_EQ(d.percentile(0.02), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.98), 900.0);
+}
+
 TEST(Distribution, ResetClears)
 {
     Distribution d;

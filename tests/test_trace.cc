@@ -1,0 +1,422 @@
+// Unit tests for the trace subsystem: the recorder's ring-buffer and
+// span semantics, the Chrome-trace sink's JSON well-formedness, the
+// text sink's rendering, and end-to-end traces of instrumented
+// machines (the shootdown lifecycle names the sinks must carry).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "sim/event_queue.hh"
+#include "trace/chrome_trace.hh"
+#include "trace/text_dump.hh"
+#include "trace/trace.hh"
+
+namespace latr
+{
+namespace
+{
+
+/**
+ * A minimal recursive-descent JSON syntax checker — enough to assert
+ * the Chrome sink's output is well-formed (balanced, quoted, comma
+ * separated) without a JSON library dependency.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text)
+        : p_(text.c_str()), end_(text.c_str() + text.size())
+    {
+    }
+
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return p_ == end_;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (p_ != end_ &&
+               std::isspace(static_cast<unsigned char>(*p_)))
+            ++p_;
+    }
+
+    bool literal(const char *s)
+    {
+        const std::size_t n = std::strlen(s);
+        if (static_cast<std::size_t>(end_ - p_) < n ||
+            std::strncmp(p_, s, n) != 0)
+            return false;
+        p_ += n;
+        return true;
+    }
+
+    bool string()
+    {
+        if (p_ == end_ || *p_ != '"')
+            return false;
+        ++p_;
+        while (p_ != end_ && *p_ != '"') {
+            if (*p_ == '\\') {
+                ++p_;
+                if (p_ == end_)
+                    return false;
+            }
+            ++p_;
+        }
+        if (p_ == end_)
+            return false;
+        ++p_; // closing quote
+        return true;
+    }
+
+    bool number()
+    {
+        const char *start = p_;
+        if (p_ != end_ && (*p_ == '-' || *p_ == '+'))
+            ++p_;
+        bool digits = false;
+        while (p_ != end_ &&
+               (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                *p_ == '.' || *p_ == 'e' || *p_ == 'E' ||
+                *p_ == '-' || *p_ == '+')) {
+            digits |= std::isdigit(static_cast<unsigned char>(*p_));
+            ++p_;
+        }
+        return digits && p_ != start;
+    }
+
+    bool members(char close, bool with_keys)
+    {
+        ++p_; // opening bracket
+        skipWs();
+        if (p_ != end_ && *p_ == close) {
+            ++p_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (with_keys) {
+                if (!string())
+                    return false;
+                skipWs();
+                if (p_ == end_ || *p_ != ':')
+                    return false;
+                ++p_;
+                skipWs();
+            }
+            if (!value())
+                return false;
+            skipWs();
+            if (p_ == end_)
+                return false;
+            if (*p_ == close) {
+                ++p_;
+                return true;
+            }
+            if (*p_ != ',')
+                return false;
+            ++p_;
+        }
+    }
+
+    bool value()
+    {
+        if (p_ == end_)
+            return false;
+        switch (*p_) {
+          case '{':
+            return members('}', true);
+          case '[':
+            return members(']', false);
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    const char *p_;
+    const char *end_;
+};
+
+TEST(JsonChecker, SanityOnKnownInputs)
+{
+    EXPECT_TRUE(JsonChecker("{\"a\":[1,2.5,\"x\"],\"b\":null}").valid());
+    EXPECT_TRUE(JsonChecker("[]").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\":1,}").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\":1").valid());
+    EXPECT_FALSE(JsonChecker("{\"a\" 1}").valid());
+}
+
+TEST(TraceRecorder, DisabledByDefaultAndRecordsNothing)
+{
+    TraceRecorder trace;
+    EXPECT_FALSE(trace.enabled());
+    EXPECT_EQ(trace.beginSpan("c", "n", 10), kSpanNone);
+    trace.endSpan(kSpanNone, 20);
+    trace.instant("c", "n", 30);
+    trace.counter("c", "n", 40, 1.0);
+    EXPECT_EQ(trace.size(), 0u);
+    EXPECT_EQ(trace.totalRecorded(), 0u);
+    EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceRecorder, RingWrapsAndCountsDrops)
+{
+    TraceRecorder trace(8);
+    trace.setEnabled(true);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        trace.instant("c", "n", i, kTraceNoCore, kTraceNoMm, i);
+    EXPECT_EQ(trace.capacity(), 8u);
+    EXPECT_EQ(trace.size(), 8u);
+    EXPECT_EQ(trace.totalRecorded(), 20u);
+    EXPECT_EQ(trace.dropped(), 12u);
+
+    // Snapshot holds the newest 8 records, oldest first.
+    std::vector<TraceRecord> records = trace.snapshot();
+    ASSERT_EQ(records.size(), 8u);
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i].arg, 12 + i);
+}
+
+TEST(TraceRecorder, SpanNestingAndAttribution)
+{
+    TraceRecorder trace;
+    trace.setEnabled(true);
+    const SpanId outer = trace.beginSpan("coh", "outer", 100, 3, 7, 42);
+    const SpanId inner = trace.beginSpan("coh", "inner", 110, 3, 7, 1);
+    EXPECT_NE(outer, kSpanNone);
+    EXPECT_NE(inner, kSpanNone);
+    EXPECT_NE(outer, inner);
+    trace.endSpan(inner, 120);
+    trace.endSpan(outer, 150);
+
+    std::vector<TraceRecord> records = trace.snapshot();
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_EQ(records[0].kind, TraceKind::SpanBegin);
+    EXPECT_EQ(records[0].id, outer);
+    EXPECT_EQ(records[0].core, 3u);
+    EXPECT_EQ(records[0].mm, 7u);
+    EXPECT_EQ(records[0].arg, 42u);
+    EXPECT_STREQ(records[0].name, "outer");
+    EXPECT_EQ(records[2].kind, TraceKind::SpanEnd);
+    EXPECT_EQ(records[2].id, inner);
+    EXPECT_EQ(records[3].id, outer);
+    EXPECT_EQ(records[3].at, 150u);
+}
+
+TEST(TraceRecorder, TogglingKeepsExistingRecords)
+{
+    TraceRecorder trace;
+    trace.setEnabled(true);
+    trace.instant("c", "kept", 1);
+    trace.setEnabled(false);
+    trace.instant("c", "ignored", 2);
+    trace.setEnabled(true);
+    trace.instant("c", "also-kept", 3);
+    EXPECT_EQ(trace.size(), 2u);
+}
+
+TEST(TraceRecorder, SetCapacityDropsContent)
+{
+    TraceRecorder trace(8);
+    trace.setEnabled(true);
+    trace.instant("c", "n", 1);
+    trace.setCapacity(4);
+    EXPECT_EQ(trace.capacity(), 4u);
+    EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceRecorder, InternDeduplicates)
+{
+    TraceRecorder trace;
+    const char *a = trace.intern("core 2: munmap()");
+    const char *b = trace.intern("core 2: munmap()");
+    const char *c = trace.intern("something else");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_STREQ(a, "core 2: munmap()");
+}
+
+TEST(TraceRecorder, InstantNowUsesAttachedClock)
+{
+    EventQueue queue;
+    TraceRecorder trace;
+    trace.attachClock(&queue);
+    trace.setEnabled(true);
+    queue.scheduleLambda(
+        250, [&]() { trace.instantNow("c", "n", 2, 9, 5); });
+    queue.run();
+    std::vector<TraceRecord> records = trace.snapshot();
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].at, 250u);
+    EXPECT_EQ(records[0].core, 2u);
+    EXPECT_EQ(records[0].mm, 9u);
+}
+
+TEST(ChromeTrace, EmitsWellFormedJsonWithAllRecordKinds)
+{
+    TraceRecorder trace;
+    trace.setEnabled(true);
+    const SpanId s = trace.beginSpan("coh", "span \"quoted\"", 10, 1);
+    trace.endSpan(s, 40);
+    trace.instant("vm", "point", 20, 2, 3, 4);
+    trace.instant("vm", "global-point", 25); // no core: machine track
+    trace.counter("latr", "lazy_bytes", 30, 4096.0);
+    const SpanId open = trace.beginSpan("coh", "never-closed", 35, 1);
+    (void)open;
+
+    const std::string json = chromeTraceJson(trace, nullptr);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("span \\\"quoted\\\""), std::string::npos);
+    // The unmatched begin still renders (closed at the last tick).
+    EXPECT_NE(json.find("never-closed"), std::string::npos);
+}
+
+TEST(ChromeTrace, MapsSocketsToProcessesAndCoresToThreads)
+{
+    Machine machine(MachineConfig::commodity2S16C(),
+                    PolicyKind::Latr);
+    TraceRecorder &trace = machine.trace();
+    trace.setEnabled(true);
+    trace.instant("t", "on-core-9", 10, 9); // core 9 = socket 1
+    const std::string json = chromeTraceJson(trace, &machine.topo());
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"name\":\"socket 0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"socket 1\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"core 9\""), std::string::npos);
+    // Core 9 sits on socket 1: pid 1, tid 10.
+    EXPECT_NE(json.find("\"pid\":1,\"tid\":10,\"ts\":"),
+              std::string::npos);
+}
+
+TEST(TextDump, FiltersByCategoryAndRendersBareLines)
+{
+    TraceRecorder trace;
+    trace.setEnabled(true);
+    trace.instant("timeline", trace.intern("first line"), 1000);
+    trace.instant("other", "hidden", 2000);
+    trace.instant("timeline", trace.intern("second line"), 3500);
+
+    TextDumpOptions options;
+    options.origin = 1000;
+    options.categoryFilter = "timeline";
+    options.detail = false;
+    const std::string text = textTimeline(trace, options);
+    EXPECT_NE(text.find("t=    0.00 us  first line"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("t=    2.50 us  second line"),
+              std::string::npos);
+    EXPECT_EQ(text.find("hidden"), std::string::npos);
+}
+
+TEST(TextDump, DetailAnnotatesSpans)
+{
+    TraceRecorder trace;
+    trace.setEnabled(true);
+    const SpanId s = trace.beginSpan("coh", "shootdown", 0, 4, 2, 8);
+    trace.endSpan(s, 5000);
+    TextDumpOptions options;
+    const std::string text = textTimeline(trace, options);
+    EXPECT_NE(text.find("shootdown"), std::string::npos) << text;
+    EXPECT_NE(text.find("coh"), std::string::npos);
+    EXPECT_NE(text.find("5.00 us"), std::string::npos);
+}
+
+/** Drive one munmap through a machine and let lazy work complete. */
+void
+runMunmapLifecycle(Machine &machine)
+{
+    Kernel &kernel = machine.kernel();
+    Process *p = kernel.createProcess("traced");
+    Task *t1 = kernel.spawnTask(p, 1);
+    Task *t2 = kernel.spawnTask(p, 2);
+    machine.run(kUsec);
+    SyscallResult m = kernel.mmap(t1, kPageSize,
+                                  kProtRead | kProtWrite);
+    ASSERT_TRUE(m.ok);
+    kernel.touch(t1, m.addr, true);
+    kernel.touch(t2, m.addr, true);
+    SyscallResult u = kernel.munmap(t1, m.addr, kPageSize);
+    ASSERT_TRUE(u.ok);
+    machine.run(8 * kMsec);
+}
+
+bool
+traceHasName(const TraceRecorder &trace, const char *name)
+{
+    for (const TraceRecord &r : trace.snapshot())
+        if (std::strcmp(r.name, name) == 0)
+            return true;
+    return false;
+}
+
+TEST(MachineTrace, LatrLifecycleProducesTheShootdownSpans)
+{
+    Machine machine(MachineConfig::commodity2S16C(),
+                    PolicyKind::Latr);
+    machine.trace().setEnabled(true);
+    runMunmapLifecycle(machine);
+
+    const TraceRecorder &trace = machine.trace();
+    EXPECT_TRUE(traceHasName(trace, "sys.munmap"));
+    EXPECT_TRUE(traceHasName(trace, "latr.state_save"));
+    EXPECT_TRUE(traceHasName(trace, "latr.sweep"));
+    EXPECT_TRUE(traceHasName(trace, "latr.reclaim"));
+    EXPECT_TRUE(traceHasName(trace, "sched.tick"));
+
+    // And the whole thing exports as loadable JSON.
+    const std::string json =
+        chromeTraceJson(trace, &machine.topo());
+    EXPECT_TRUE(JsonChecker(json).valid());
+    EXPECT_NE(json.find("latr.sweep"), std::string::npos);
+}
+
+TEST(MachineTrace, LinuxLifecycleProducesIpiSpans)
+{
+    Machine machine(MachineConfig::commodity2S16C(),
+                    PolicyKind::LinuxSync);
+    machine.trace().setEnabled(true);
+    runMunmapLifecycle(machine);
+
+    const TraceRecorder &trace = machine.trace();
+    EXPECT_TRUE(traceHasName(trace, "sys.munmap"));
+    EXPECT_TRUE(traceHasName(trace, "ipi.send"));
+    EXPECT_TRUE(traceHasName(trace, "ipi.handler"));
+    EXPECT_TRUE(traceHasName(trace, "ipi.ack"));
+    EXPECT_TRUE(traceHasName(trace, "coh.ipi_shootdown"));
+}
+
+TEST(MachineTrace, DisabledRecorderStaysEmptyThroughAFullRun)
+{
+    Machine machine(MachineConfig::commodity2S16C(),
+                    PolicyKind::Latr);
+    runMunmapLifecycle(machine);
+    EXPECT_EQ(machine.trace().size(), 0u);
+    EXPECT_EQ(machine.trace().totalRecorded(), 0u);
+}
+
+} // namespace
+} // namespace latr
