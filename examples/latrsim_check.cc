@@ -1,0 +1,279 @@
+// latrsim_check: the conformance-harness front end — fuzz the four
+// TLB-coherence policies against the differential executor and the
+// bounded-staleness oracle, and replay (minimized) failure scripts.
+//
+//   latrsim_check --fuzz=1000                  # fuzzing campaign
+//   latrsim_check --fuzz=200 --ops=200         # CI smoke budget
+//   latrsim_check --replay=fail_seed7.min.script
+//   latrsim_check --replay=f.script --policy=latr --trace=f.json
+//   latrsim_check --fuzz=50 --inject=skip-latr-sweep   # must fail
+//
+// Exit status: 0 when every run is clean and equivalent, 1 on any
+// oracle violation or cross-policy divergence, 2 on usage errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/executor.hh"
+#include "check/fuzzer.hh"
+#include "check/script.hh"
+
+using namespace latr;
+
+namespace
+{
+
+struct Options
+{
+    unsigned fuzz = 0;
+    std::string replayPath;
+    std::string policy; // empty = all four
+    std::uint64_t seed = 1;
+    unsigned ops = 400;
+    int pcid = -1; // -1 = alternate (fuzz) / script header (replay)
+    std::string outDir = ".";
+    std::string tracePath;
+    std::string inject;
+    bool keepGoing = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --fuzz=N          run N generated scripts through all four\n"
+        "                    policies; minimize + dump any failure\n"
+        "  --replay=FILE     replay one script (all policies unless\n"
+        "                    --policy narrows it)\n"
+        "  --policy=linux|latr|abis|barrelfish\n"
+        "  --seed=N          first fuzz seed (default 1)\n"
+        "  --ops=N           ops per generated script (default 400)\n"
+        "  --pcid=0|1        force PCIDs off/on (default: alternate)\n"
+        "  --out=DIR         where failure dumps go (default .)\n"
+        "  --trace=FILE      Chrome-trace JSON of a --replay run\n"
+        "  --inject=skip-latr-sweep  fault injection (harness\n"
+        "                    self-test: the oracle must catch it)\n"
+        "  --keep-going      fuzz past the first failure\n",
+        argv0);
+}
+
+bool
+parseArg(Options &opts, const char *arg, const char *next,
+         bool *consumed_next)
+{
+    *consumed_next = false;
+    auto value = [&](const char *key) -> const char * {
+        const std::size_t n = std::strlen(key);
+        if (std::strncmp(arg, key, n) != 0)
+            return nullptr;
+        if (arg[n] == '=')
+            return arg + n + 1;
+        if (arg[n] == '\0' && next) {
+            *consumed_next = true;
+            return next;
+        }
+        return nullptr;
+    };
+    if (std::strcmp(arg, "--keep-going") == 0) {
+        opts.keepGoing = true;
+        return true;
+    }
+    if (const char *v = value("--fuzz")) {
+        opts.fuzz = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        return true;
+    }
+    if (const char *v = value("--replay")) {
+        opts.replayPath = v;
+        return true;
+    }
+    if (const char *v = value("--policy")) {
+        opts.policy = v;
+        return true;
+    }
+    if (const char *v = value("--seed")) {
+        opts.seed = std::strtoull(v, nullptr, 10);
+        return true;
+    }
+    if (const char *v = value("--ops")) {
+        opts.ops = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        return true;
+    }
+    if (const char *v = value("--pcid")) {
+        opts.pcid = std::atoi(v) != 0 ? 1 : 0;
+        return true;
+    }
+    if (const char *v = value("--out")) {
+        opts.outDir = v;
+        return true;
+    }
+    if (const char *v = value("--trace")) {
+        opts.tracePath = v;
+        return true;
+    }
+    if (const char *v = value("--inject")) {
+        opts.inject = v;
+        return true;
+    }
+    return false;
+}
+
+bool
+policyOf(const std::string &name, PolicyKind *kind)
+{
+    if (name == "linux")
+        *kind = PolicyKind::LinuxSync;
+    else if (name == "latr")
+        *kind = PolicyKind::Latr;
+    else if (name == "abis")
+        *kind = PolicyKind::Abis;
+    else if (name == "barrelfish")
+        *kind = PolicyKind::Barrelfish;
+    else
+        return false;
+    return true;
+}
+
+int
+replay(const Options &opts, const ExecOptions &exec)
+{
+    Script script;
+    std::string err;
+    if (!loadScriptFile(opts.replayPath, &script, &err)) {
+        std::fprintf(stderr, "latrsim_check: %s\n", err.c_str());
+        return 2;
+    }
+    if (opts.pcid >= 0)
+        script.pcid = opts.pcid == 1;
+
+    if (!opts.policy.empty()) {
+        PolicyKind kind;
+        if (!policyOf(opts.policy, &kind)) {
+            std::fprintf(stderr, "unknown policy '%s'\n",
+                         opts.policy.c_str());
+            return 2;
+        }
+        ExecOptions one = exec;
+        if (!opts.tracePath.empty()) {
+            one.trace = true;
+            one.tracePath = opts.tracePath;
+        }
+        RunResult run = runScript(script, kind, one);
+        std::printf("%s: %llu staleness, %llu invariant violations\n",
+                    policyKindName(kind),
+                    static_cast<unsigned long long>(
+                        run.stalenessViolations),
+                    static_cast<unsigned long long>(
+                        run.invariantViolations));
+        if (!run.clean())
+            std::printf("  first: %s\n",
+                        (run.stalenessViolations
+                             ? run.firstStaleness
+                             : run.firstInvariant)
+                            .c_str());
+        return run.clean() ? 0 : 1;
+    }
+
+    const std::string reason = checkScript(script, exec);
+    if (reason.empty()) {
+        std::printf("replay of %s (%zu ops): clean and equivalent "
+                    "under all four policies\n",
+                    opts.replayPath.c_str(), script.ops.size());
+        return 0;
+    }
+    std::printf("replay of %s FAILED: %s\n", opts.replayPath.c_str(),
+                reason.c_str());
+    return 1;
+}
+
+int
+fuzz(const Options &opts, const ExecOptions &exec)
+{
+    FuzzOptions fo;
+    fo.iterations = opts.fuzz;
+    fo.baseSeed = opts.seed;
+    fo.gen.numOps = opts.ops;
+    fo.outDir = opts.outDir;
+    fo.stopOnFailure = !opts.keepGoing;
+    fo.exec = exec;
+    if (opts.pcid >= 0) {
+        fo.mixPcid = false;
+        fo.gen.pcid = opts.pcid == 1;
+    }
+    unsigned done = 0;
+    fo.onIteration = [&](unsigned iter, std::uint64_t) {
+        done = iter + 1;
+        if ((iter + 1) % 50 == 0)
+            std::printf("  ... %u/%u scripts\n", iter + 1,
+                        opts.fuzz);
+    };
+
+    std::printf("fuzzing %u scripts x 4 policies (%u ops each, "
+                "base seed %llu)\n",
+                opts.fuzz, opts.ops,
+                static_cast<unsigned long long>(opts.seed));
+    FuzzResult result = runFuzz(fo);
+    if (result.clean()) {
+        std::printf("clean: %u scripts, no oracle violations, no "
+                    "cross-policy divergence\n",
+                    result.iterations);
+        return 0;
+    }
+    for (const FuzzFailure &f : result.failures) {
+        std::printf("FAILURE seed %llu: %s\n",
+                    static_cast<unsigned long long>(f.seed),
+                    f.reason.c_str());
+        std::printf("  script:    %s (%zu ops)\n",
+                    f.scriptPath.c_str(), f.originalOps);
+        std::printf("  minimized: %s (%zu ops)\n",
+                    f.minScriptPath.c_str(), f.minimizedOps);
+        std::printf("  trace:     %s\n", f.tracePath.c_str());
+        std::printf("  replay:    latrsim_check --replay=%s%s\n",
+                    f.minScriptPath.c_str(),
+                    exec.injectSkipLatrSweep
+                        ? " --inject=skip-latr-sweep"
+                        : "");
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        bool consumed_next = false;
+        const char *next = i + 1 < argc ? argv[i + 1] : nullptr;
+        if (!parseArg(opts, argv[i], next, &consumed_next)) {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            usage(argv[0]);
+            return 2;
+        }
+        if (consumed_next)
+            ++i;
+    }
+    if ((opts.fuzz == 0) == opts.replayPath.empty()) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    ExecOptions exec;
+    if (!opts.inject.empty()) {
+        if (opts.inject != "skip-latr-sweep") {
+            std::fprintf(stderr, "unknown injection '%s'\n",
+                         opts.inject.c_str());
+            return 2;
+        }
+        exec.injectSkipLatrSweep = true;
+        std::printf("fault injection: LATR sweeps disabled — the "
+                    "staleness oracle should report violations\n");
+    }
+
+    return opts.replayPath.empty() ? fuzz(opts, exec)
+                                   : replay(opts, exec);
+}

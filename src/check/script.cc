@@ -1,0 +1,344 @@
+#include "check/script.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/rng.hh"
+
+namespace latr
+{
+
+namespace
+{
+
+/** Per-slot generator bookkeeping. */
+struct SlotState
+{
+    bool live = false;
+    bool huge = false;
+    std::uint64_t pages = 0;
+    /** Owning process (its tasks issue ops against the slot). */
+    unsigned proc = 0;
+    /**
+     * madvise/NUMA-sample happened since the last quiesce: further
+     * access would sit in the paper's legitimate transient-staleness
+     * window, where lazy and synchronous policies may diverge.
+     */
+    bool tainted = false;
+    bool readOnly = false;
+};
+
+const char *
+opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Mmap: return "mmap";
+      case OpKind::MmapHuge: return "mmap_huge";
+      case OpKind::Munmap: return "munmap";
+      case OpKind::MunmapSync: return "munmap_sync";
+      case OpKind::Madvise: return "madvise";
+      case OpKind::Mprotect: return "mprotect";
+      case OpKind::Mremap: return "mremap";
+      case OpKind::MarkCow: return "markcow";
+      case OpKind::Touch: return "touch";
+      case OpKind::NumaSample: return "numa";
+      case OpKind::CtxSwitch: return "ctxsw";
+      case OpKind::Advance: return "advance";
+      case OpKind::Quiesce: return "quiesce";
+    }
+    return "?";
+}
+
+} // namespace
+
+Script
+generateScript(std::uint64_t seed, const GenOptions &opt)
+{
+    Rng rng(seed);
+    Script s;
+    s.seed = seed;
+    s.pcid = opt.pcid;
+    s.procs = opt.procs > 0 ? opt.procs : 1;
+
+    std::vector<SlotState> slots(opt.maxSlots);
+    // One task per core in the executor's 2x4 machine; task i runs
+    // process i % procs, so a slot owned by proc p may be driven by
+    // any task with index ≡ p (mod procs).
+    const unsigned kCores = 8;
+    auto task_of = [&](unsigned proc) -> std::uint32_t {
+        const unsigned candidates = kCores / s.procs +
+                                    (proc < kCores % s.procs ? 1 : 0);
+        const unsigned pick = static_cast<unsigned>(
+            rng.nextBounded(candidates ? candidates : 1));
+        return proc + pick * s.procs;
+    };
+
+    for (unsigned i = 0; i < opt.numOps; ++i) {
+        const unsigned slot =
+            static_cast<unsigned>(rng.nextBounded(slots.size()));
+        SlotState &st = slots[slot];
+        Op op;
+        op.slot = slot;
+
+        const std::uint64_t roll = rng.nextBounded(100);
+        if (!st.live) {
+            // Empty slot: map something into it (huge 1 in 6).
+            if (rng.nextBool(1.0 / 6.0)) {
+                op.kind = OpKind::MmapHuge;
+                op.value = rng.nextRange(1, 2); // 2-4 MiB
+                st.huge = true;
+                st.pages = op.value * kHugePageSpan;
+            } else {
+                op.kind = OpKind::Mmap;
+                op.value = rng.nextRange(1, opt.maxPages);
+                op.rw = true;
+                st.huge = false;
+                st.pages = op.value;
+            }
+            st.proc = static_cast<unsigned>(rng.nextBounded(s.procs));
+            st.live = true;
+            st.tainted = false;
+            st.readOnly = false;
+            op.task = task_of(st.proc);
+        } else if (roll < 10) {
+            op.kind = rng.nextBool(0.2) ? OpKind::MunmapSync
+                                        : OpKind::Munmap;
+            op.task = task_of(st.proc);
+            st.live = false;
+        } else if (roll < 16 && !st.huge) {
+            op.kind = OpKind::Madvise;
+            op.task = task_of(st.proc);
+            st.tainted = true;
+        } else if (roll < 22 && !st.huge) {
+            op.kind = OpKind::Mprotect;
+            op.rw = rng.nextBool(0.5);
+            op.task = task_of(st.proc);
+            st.readOnly = !op.rw;
+        } else if (roll < 26 && !st.huge) {
+            op.kind = OpKind::Mremap;
+            op.value = rng.nextRange(1, opt.maxPages);
+            op.task = task_of(st.proc);
+            st.pages = op.value;
+        } else if (roll < 30 && !st.huge && !st.readOnly) {
+            op.kind = OpKind::MarkCow;
+            op.task = task_of(st.proc);
+        } else if (roll < 34) {
+            op.kind = OpKind::NumaSample;
+            op.off = rng.nextBounded(st.pages);
+            op.task = task_of(st.proc);
+            st.tainted = true;
+        } else if (roll < 80 && !st.tainted) {
+            op.kind = OpKind::Touch;
+            op.off = rng.nextBounded(st.pages);
+            // Writes through a read-only or CoW mapping are fine
+            // (segfault / CoW break are deterministic); writes are
+            // just likelier to catch stale-writable bugs.
+            op.rw = rng.nextBool(0.6) && !st.readOnly;
+            op.task = task_of(st.proc);
+        } else if (roll < 86) {
+            op.kind = OpKind::CtxSwitch;
+            op.value = rng.nextBounded(kCores);
+        } else if (roll < 96) {
+            op.kind = OpKind::Advance;
+            op.value = rng.nextRange(10, 400); // microseconds
+        } else {
+            op.kind = OpKind::Quiesce;
+            for (SlotState &other : slots)
+                other.tainted = false;
+        }
+        s.ops.push_back(op);
+    }
+    s.ops.push_back(Op{OpKind::Quiesce, 0, 0, 0, 0, false});
+    return s;
+}
+
+std::string
+serializeScript(const Script &script)
+{
+    std::ostringstream out;
+    out << "# latrsim check script\n";
+    out << "seed " << script.seed << "\n";
+    out << "pcid " << (script.pcid ? 1 : 0) << "\n";
+    out << "procs " << script.procs << "\n";
+    for (const Op &op : script.ops) {
+        out << opName(op.kind);
+        switch (op.kind) {
+          case OpKind::Mmap:
+            out << " " << op.task << " " << op.slot << " " << op.value
+                << " " << (op.rw ? "rw" : "r");
+            break;
+          case OpKind::MmapHuge:
+          case OpKind::Mremap:
+            out << " " << op.task << " " << op.slot << " " << op.value;
+            break;
+          case OpKind::Munmap:
+          case OpKind::MunmapSync:
+          case OpKind::Madvise:
+          case OpKind::MarkCow:
+            out << " " << op.task << " " << op.slot;
+            break;
+          case OpKind::Mprotect:
+            out << " " << op.task << " " << op.slot << " "
+                << (op.rw ? "rw" : "r");
+            break;
+          case OpKind::Touch:
+            out << " " << op.task << " " << op.slot << " " << op.off
+                << " " << (op.rw ? "w" : "r");
+            break;
+          case OpKind::NumaSample:
+            out << " " << op.task << " " << op.slot << " " << op.off;
+            break;
+          case OpKind::CtxSwitch:
+          case OpKind::Advance:
+            out << " " << op.value;
+            break;
+          case OpKind::Quiesce:
+            break;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+namespace
+{
+
+bool
+parseAccess(const std::string &tok, bool *rw)
+{
+    if (tok == "rw" || tok == "w") {
+        *rw = true;
+        return true;
+    }
+    if (tok == "r") {
+        *rw = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+parseScript(const std::string &text, Script *out, std::string *err)
+{
+    *out = Script{};
+    out->procs = 1;
+    std::istringstream in(text);
+    std::string line;
+    unsigned lineno = 0;
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = "line " + std::to_string(lineno) + ": " + what;
+        return false;
+    };
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::istringstream toks(line);
+        std::string word;
+        if (!(toks >> word) || word[0] == '#')
+            continue;
+
+        if (word == "seed") {
+            if (!(toks >> out->seed))
+                return fail("seed needs a value");
+            continue;
+        }
+        if (word == "pcid") {
+            unsigned v;
+            if (!(toks >> v))
+                return fail("pcid needs 0 or 1");
+            out->pcid = v != 0;
+            continue;
+        }
+        if (word == "procs") {
+            if (!(toks >> out->procs) || out->procs == 0)
+                return fail("procs needs a positive value");
+            continue;
+        }
+
+        Op op;
+        std::string access;
+        if (word == "mmap") {
+            op.kind = OpKind::Mmap;
+            if (!(toks >> op.task >> op.slot >> op.value >> access) ||
+                !parseAccess(access, &op.rw))
+                return fail("mmap <task> <slot> <pages> <r|rw>");
+        } else if (word == "mmap_huge") {
+            op.kind = OpKind::MmapHuge;
+            if (!(toks >> op.task >> op.slot >> op.value))
+                return fail("mmap_huge <task> <slot> <hugepages>");
+        } else if (word == "munmap" || word == "munmap_sync") {
+            op.kind = word == "munmap" ? OpKind::Munmap
+                                       : OpKind::MunmapSync;
+            if (!(toks >> op.task >> op.slot))
+                return fail(word + " <task> <slot>");
+        } else if (word == "madvise") {
+            op.kind = OpKind::Madvise;
+            if (!(toks >> op.task >> op.slot))
+                return fail("madvise <task> <slot>");
+        } else if (word == "mprotect") {
+            op.kind = OpKind::Mprotect;
+            if (!(toks >> op.task >> op.slot >> access) ||
+                !parseAccess(access, &op.rw))
+                return fail("mprotect <task> <slot> <r|rw>");
+        } else if (word == "mremap") {
+            op.kind = OpKind::Mremap;
+            if (!(toks >> op.task >> op.slot >> op.value))
+                return fail("mremap <task> <slot> <newpages>");
+        } else if (word == "markcow") {
+            op.kind = OpKind::MarkCow;
+            if (!(toks >> op.task >> op.slot))
+                return fail("markcow <task> <slot>");
+        } else if (word == "touch") {
+            op.kind = OpKind::Touch;
+            if (!(toks >> op.task >> op.slot >> op.off >> access) ||
+                !parseAccess(access, &op.rw))
+                return fail("touch <task> <slot> <off> <r|w>");
+        } else if (word == "numa") {
+            op.kind = OpKind::NumaSample;
+            if (!(toks >> op.task >> op.slot >> op.off))
+                return fail("numa <task> <slot> <off>");
+        } else if (word == "ctxsw") {
+            op.kind = OpKind::CtxSwitch;
+            if (!(toks >> op.value))
+                return fail("ctxsw <core>");
+        } else if (word == "advance") {
+            op.kind = OpKind::Advance;
+            if (!(toks >> op.value))
+                return fail("advance <usec>");
+        } else if (word == "quiesce") {
+            op.kind = OpKind::Quiesce;
+        } else {
+            return fail("unknown directive '" + word + "'");
+        }
+        out->ops.push_back(op);
+    }
+    return true;
+}
+
+bool
+loadScriptFile(const std::string &path, Script *out, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parseScript(text.str(), out, err);
+}
+
+bool
+saveScriptFile(const std::string &path, const Script &script)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << serializeScript(script);
+    return bool(out);
+}
+
+} // namespace latr

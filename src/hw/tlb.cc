@@ -72,15 +72,15 @@ Tlb::Tlb(CoreId core, unsigned l1_entries, unsigned l2_entries,
 void
 Tlb::notifyInsert(const Entry &e)
 {
-    if (listener_)
-        listener_->onTlbInsert(core_, e.key.vpn, e.pfn, e.key.pcid);
+    for (TlbListener *l : listeners_)
+        l->onTlbInsert(core_, e.key.vpn, e.pfn, e.key.pcid);
 }
 
 void
 Tlb::notifyRemove(const Entry &e)
 {
-    if (listener_)
-        listener_->onTlbRemove(core_, e.key.vpn, e.pfn, e.key.pcid);
+    for (TlbListener *l : listeners_)
+        l->onTlbRemove(core_, e.key.vpn, e.pfn, e.key.pcid);
 }
 
 TlbResult
@@ -280,7 +280,7 @@ Tlb::flushAll()
     if (trace_)
         trace_->instantNow("hw", "tlb.flush_all", core_, kTraceNoMm,
                            size());
-    if (listener_) {
+    if (!listeners_.empty()) {
         l1_.forEach([&](const Entry &e) { notifyRemove(e); });
         l2_.forEach([&](const Entry &e) { notifyRemove(e); });
         huge_.forEach([&](const Entry &e) { notifyRemove(e); });

@@ -69,8 +69,26 @@ class Tlb
     Tlb(const Tlb &) = delete;
     Tlb &operator=(const Tlb &) = delete;
 
-    /** Attach @p listener (may be nullptr to detach). */
-    void setListener(TlbListener *listener) { listener_ = listener; }
+    /** Attach @p listener as the sole observer (nullptr detaches all). */
+    void
+    setListener(TlbListener *listener)
+    {
+        listeners_.clear();
+        if (listener)
+            listeners_.push_back(listener);
+    }
+
+    /**
+     * Attach an additional observer alongside any already present
+     * (the invariant checker and the staleness oracle both mirror
+     * TLB contents).
+     */
+    void
+    addListener(TlbListener *listener)
+    {
+        if (listener)
+            listeners_.push_back(listener);
+    }
 
     /**
      * Attach the trace recorder (nullptr to detach). Flushes and
@@ -228,7 +246,7 @@ class Tlb
     Level l1_;
     Level l2_;
     Level huge_; // separate 2 MiB-entry array
-    TlbListener *listener_ = nullptr;
+    std::vector<TlbListener *> listeners_;
     TraceRecorder *trace_ = nullptr;
 
     std::uint64_t l1Hits_ = 0;

@@ -46,6 +46,20 @@ Machine::Machine(MachineConfig config, PolicyKind policy_kind,
     kernel_.setPolicy(policy_.get());
 }
 
+StalenessOracle *
+Machine::installStalenessOracle(bool strict)
+{
+    if (staleness_)
+        return staleness_.get();
+    staleness_ = std::make_unique<StalenessOracle>(strict);
+    staleness_->attachClock(&queue_);
+    frames_.addListener(staleness_.get());
+    for (CoreId c = 0; c < topo_.totalCores(); ++c)
+        sched_.tlbOf(c).addListener(staleness_.get());
+    kernel_.setStalenessOracle(staleness_.get());
+    return staleness_.get();
+}
+
 Machine::~Machine()
 {
     // Stop ticks so pending recurring events do not fire into a

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "check/staleness.hh"
 #include "hw/cache.hh"
 #include "hw/ipi.hh"
 #include "mem/frame_allocator.hh"
@@ -64,7 +65,17 @@ class Machine
     LlcCache &llcOf(NodeId node) { return *llcs_.at(node); }
     /** nullptr when check_invariants was false. */
     InvariantChecker *checker() { return checker_.get(); }
+    /** nullptr until installStalenessOracle(). */
+    StalenessOracle *staleness() { return staleness_.get(); }
     /// @}
+
+    /**
+     * Attach the bounded-staleness oracle (src/check/) to every TLB,
+     * the frame allocator, and the kernel. Install before the first
+     * operation — the oracle mirrors TLB contents from empty.
+     * Idempotent; returns the oracle.
+     */
+    StalenessOracle *installStalenessOracle(bool strict = false);
 
     /** Current simulated time. */
     Tick now() const { return queue_.now(); }
@@ -93,6 +104,7 @@ class Machine
     Scheduler sched_;
     Kernel kernel_;
     std::unique_ptr<InvariantChecker> checker_;
+    std::unique_ptr<StalenessOracle> staleness_;
     std::unique_ptr<TlbCoherencePolicy> policy_;
 };
 

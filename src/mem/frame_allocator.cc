@@ -53,8 +53,7 @@ FrameAllocator::alloc(NodeId node)
                   refcounts_[pfn]);
         refcounts_[pfn] = 1;
         ++allocated_;
-        if (listener_)
-            listener_->onFrameAlloc(pfn);
+        notifyAlloc(pfn);
         return pfn;
     }
     return kPfnInvalid;
@@ -77,8 +76,7 @@ FrameAllocator::allocLowest(NodeId node)
               static_cast<unsigned long long>(pfn), refcounts_[pfn]);
     refcounts_[pfn] = 1;
     ++allocated_;
-    if (listener_)
-        listener_->onFrameAlloc(pfn);
+    notifyAlloc(pfn);
     return pfn;
 }
 
@@ -112,8 +110,7 @@ FrameAllocator::allocHuge(NodeId node)
         for (Pfn f = base; f < base + kHugePageSpan; ++f) {
             refcounts_[f] = 1;
             ++allocated_;
-            if (listener_)
-                listener_->onFrameAlloc(f);
+            notifyAlloc(f);
         }
         return base;
     }
@@ -152,8 +149,7 @@ FrameAllocator::put(Pfn pfn)
               static_cast<unsigned long long>(pfn));
     if (--refcounts_[pfn] == 0) {
         --allocated_;
-        if (listener_)
-            listener_->onFrameFree(pfn);
+        notifyFree(pfn);
         freeLists_[nodeOf(pfn)].push_back(pfn);
     }
 }

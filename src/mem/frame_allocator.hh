@@ -49,7 +49,22 @@ class FrameAllocator
     FrameAllocator(const FrameAllocator &) = delete;
     FrameAllocator &operator=(const FrameAllocator &) = delete;
 
-    void setListener(FrameListener *listener) { listener_ = listener; }
+    /** Attach @p listener as the sole observer (nullptr detaches all). */
+    void
+    setListener(FrameListener *listener)
+    {
+        listeners_.clear();
+        if (listener)
+            listeners_.push_back(listener);
+    }
+
+    /** Attach an additional observer alongside any already present. */
+    void
+    addListener(FrameListener *listener)
+    {
+        if (listener)
+            listeners_.push_back(listener);
+    }
 
     /**
      * Allocate one frame, preferring @p node; falls back to other
@@ -109,12 +124,26 @@ class FrameAllocator
   private:
     void checkPfn(Pfn pfn) const;
 
+    void
+    notifyAlloc(Pfn pfn)
+    {
+        for (FrameListener *l : listeners_)
+            l->onFrameAlloc(pfn);
+    }
+
+    void
+    notifyFree(Pfn pfn)
+    {
+        for (FrameListener *l : listeners_)
+            l->onFrameFree(pfn);
+    }
+
     unsigned nodes_;
     std::uint64_t framesPerNode_;
     std::vector<std::vector<Pfn>> freeLists_; // per node, LIFO
     std::vector<std::uint32_t> refcounts_;    // per frame
     std::uint64_t allocated_ = 0;
-    FrameListener *listener_ = nullptr;
+    std::vector<FrameListener *> listeners_;
 };
 
 } // namespace latr

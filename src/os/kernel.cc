@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/staleness.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 
@@ -101,6 +102,17 @@ Kernel::traceSyscall(const char *name, Tick begin,
     const SpanId span =
         trace_->beginSpan("vm", name, begin, core, mm, npages);
     trace_->endSpan(span, begin + res.latency);
+}
+
+void
+Kernel::noteInvalidation(AddressSpace &mm, Vpn s, Vpn e, Tick deadline,
+                         const char *op)
+{
+    if (!staleness_)
+        return;
+    staleness_->notePageTableInvalidation(mm.pcid(), mm.id(), s, e,
+                                          mm.residencyMask(), deadline,
+                                          op);
 }
 
 Duration
@@ -209,6 +221,10 @@ Kernel::munmap(Task *task, Addr addr, std::uint64_t len, bool sync)
     // Linux performs the shootdown under mmap_sem; LATR's 132 ns
     // state save extends the hold negligibly.
     mm.mmapSem().extendWrite(pol);
+    noteInvalidation(mm, s, e,
+                     shoot_at + pol +
+                         policy_->stalenessContract().epochBound,
+                     "munmap");
 
     res.ok = true;
     res.shootdown = pol;
@@ -271,6 +287,10 @@ Kernel::madvise(Task *task, Addr addr, std::uint64_t len)
     const Duration pol = policy_->onFreePages(std::move(ctx), shoot_at);
     for (Vpn vpn : unmapped)
         mm.clearSharers(vpn);
+    noteInvalidation(mm, s, e,
+                     shoot_at + pol +
+                         policy_->stalenessContract().epochBound,
+                     "madvise");
 
     res.ok = true;
     res.shootdown = pol;
@@ -312,6 +332,7 @@ Kernel::mprotect(Task *task, Addr addr, std::uint64_t len,
     const Duration pol =
         policy_->onSyncShootdown(&mm, core, s, e, npages, shoot_at);
     mm.mmapSem().extendWrite(pol);
+    noteInvalidation(mm, s, e, shoot_at + pol, "mprotect");
 
     res.ok = true;
     res.shootdown = pol;
@@ -355,6 +376,7 @@ Kernel::mremap(Task *task, Addr old_addr, std::uint64_t old_len,
     const Duration pol =
         policy_->onSyncShootdown(&mm, core, s, e, npages, shoot_at);
     mm.mmapSem().extendWrite(pol);
+    noteInvalidation(mm, s, e, shoot_at + pol, "mremap");
 
     res.ok = true;
     res.addr = new_addr;
@@ -395,6 +417,7 @@ Kernel::markCow(Task *task, Addr addr, std::uint64_t len)
     const Duration pol =
         policy_->onSyncShootdown(&mm, core, s, e, npages, shoot_at);
     mm.mmapSem().extendWrite(pol);
+    noteInvalidation(mm, s, e, shoot_at + pol, "markcow");
 
     res.ok = true;
     res.shootdown = pol;
@@ -516,8 +539,19 @@ Kernel::touch(Task *task, Addr addr, bool is_write)
 Duration
 Kernel::numaSample(Task *task, Vpn vpn)
 {
-    return policy_->onNumaSample(&task->mm(), task->core(), vpn,
-                                 queue_.now());
+    AddressSpace &mm = task->mm();
+    const Tick now = queue_.now();
+    // Mirror the policies' raced-with-unmap guard: a sample that
+    // finds no PTE invalidates nothing, so nothing is promised.
+    const bool mapped = mm.pageTable().find(vpn) != nullptr;
+    const Duration pol =
+        policy_->onNumaSample(&mm, task->core(), vpn, now);
+    if (mapped)
+        noteInvalidation(mm, vpn, vpn,
+                         now + pol +
+                             policy_->stalenessContract().epochBound,
+                         "numa_sample");
+    return pol;
 }
 
 void

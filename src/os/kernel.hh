@@ -32,6 +32,7 @@
 namespace latr
 {
 
+class StalenessOracle;
 class TraceRecorder;
 
 /** Result of a simulated system call. */
@@ -62,6 +63,16 @@ class Kernel
 
     /** Attach the trace recorder (null or disabled: zero overhead). */
     void setTracer(TraceRecorder *trace) { trace_ = trace; }
+
+    /**
+     * Attach the bounded-staleness oracle (src/check/): every
+     * page-table-invalidating call reports its range and contract
+     * deadline. nullptr (the default) costs nothing.
+     */
+    void setStalenessOracle(StalenessOracle *oracle)
+    {
+        staleness_ = oracle;
+    }
 
     TraceRecorder *tracer() const { return trace_; }
 
@@ -159,6 +170,15 @@ class Kernel
                       const SyscallResult &res, CoreId core, MmId mm,
                       std::uint64_t npages);
 
+    /**
+     * Report an invalidated page-table range to the staleness
+     * oracle, if attached: every TLB copy of [s, e] must be gone by
+     * @p deadline. Called after the policy call, so translations the
+     * policy already killed synchronously are exempt.
+     */
+    void noteInvalidation(AddressSpace &mm, Vpn s, Vpn e,
+                          Tick deadline, const char *op);
+
     EventQueue &queue_;
     const NumaTopology &topo_;
     const MachineConfig &config_;
@@ -167,6 +187,7 @@ class Kernel
     StatRegistry &stats_;
     TlbCoherencePolicy *policy_ = nullptr;
     TraceRecorder *trace_ = nullptr;
+    StalenessOracle *staleness_ = nullptr;
 
     std::function<Duration(Vpn, CoreId)> numaFaultHook_;
 

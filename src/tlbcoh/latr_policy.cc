@@ -422,14 +422,30 @@ LatrPolicy::reclaimPass(Tick now)
 void
 LatrPolicy::onSchedulerTick(CoreId core, Tick now)
 {
+    if (env_.config->injectSkipLatrSweep)
+        return;
     sweep(core, now);
 }
 
 void
 LatrPolicy::onContextSwitch(CoreId core, Tick now)
 {
+    if (env_.config->injectSkipLatrSweep)
+        return;
     if (env_.config->latrSweepAtContextSwitch)
         sweep(core, now);
+}
+
+StalenessContract
+LatrPolicy::stalenessContract() const
+{
+    // Every core sweeps at latest at its next scheduler tick, so a
+    // translation invalidated-in-page-tables dies within one tick
+    // interval of the free operation returning. The slack mirrors
+    // numaSampleReadyAt's allowance for sweep processing time.
+    return StalenessContract{
+        cost().tickInterval + migrationBlockSlack(),
+        "remote cores sweep LATR states within one scheduler epoch"};
 }
 
 } // namespace latr

@@ -88,6 +88,7 @@ class LatrPolicy : public TlbCoherencePolicy
     const char *name() const override { return "LATR"; }
     PolicyKind kind() const override { return PolicyKind::Latr; }
     PolicyCapabilities capabilities() const override;
+    StalenessContract stalenessContract() const override;
 
     Duration onFreePages(FreeOpContext ctx, Tick start) override;
 

@@ -91,6 +91,25 @@ struct FreeOpContext
     bool syncRequested = false;
 };
 
+/**
+ * A policy's bounded-staleness contract (paper sections 3 and 4.2):
+ * the longest a remote TLB entry may outlive its page-table mapping
+ * once the triggering kernel operation has returned. Synchronous
+ * policies promise zero; LATR promises one scheduler epoch. The
+ * staleness oracle in src/check/ enforces this bound at runtime.
+ */
+struct StalenessContract
+{
+    /**
+     * Upper bound on how long after the operation's sync point a
+     * stale translation may survive in any TLB. 0 means the policy
+     * is synchronous: coherence is reached before the op returns.
+     */
+    Duration epochBound = 0;
+    /** Why the bound holds — quoted in oracle violation reports. */
+    const char *rationale = "synchronous shootdown before op returns";
+};
+
 /** Static properties of a policy (rows of the paper's table 2). */
 struct PolicyCapabilities
 {
@@ -121,6 +140,16 @@ class TlbCoherencePolicy
     virtual const char *name() const = 0;
     virtual PolicyKind kind() const = 0;
     virtual PolicyCapabilities capabilities() const = 0;
+
+    /**
+     * The policy's bounded-staleness promise. The default contract
+     * (0: coherent before the op returns) fits every synchronous
+     * policy; lazy policies override with their epoch bound.
+     */
+    virtual StalenessContract stalenessContract() const
+    {
+        return StalenessContract{};
+    }
 
     /**
      * A free operation unmapped @p ctx.pages. PTEs are already

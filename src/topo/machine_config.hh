@@ -83,6 +83,17 @@ struct MachineConfig
     bool latrScratchpad = false;
     /// @}
 
+    /// @name Fault injection (testing the checkers, never production)
+    /// @{
+    /**
+     * Deliberately break LATR: skip the per-core sweep at scheduler
+     * ticks and context switches, so remote TLB entries outlive the
+     * one-epoch staleness bound. Exists solely so tests can prove
+     * the staleness oracle (src/check/) catches a broken policy.
+     */
+    bool injectSkipLatrSweep = false;
+    /// @}
+
     /** All latency constants. */
     CostModel cost;
 

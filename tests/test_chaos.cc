@@ -73,15 +73,26 @@ TEST_P(Chaos, EverythingAtOnceHoldsTheInvariant)
     struct Region
     {
         Task *owner;
+        std::uint32_t ownerIdx;
         Addr addr;
         std::uint64_t pages;
         bool huge;
+        std::uint32_t slot;
     };
     std::vector<Region> regions;
 
+    // Best-effort replayable record of the soup (the daemons
+    // themselves cannot be captured in a script).
+    Script repro;
+    repro.seed = param.seed;
+    repro.procs = 2;
+    std::uint32_t nextSlot = 0;
+
     const int kOps = 700;
     for (int op = 0; op < kOps; ++op) {
-        Task *task = tasks[rng.nextBounded(tasks.size())];
+        const std::uint32_t taskIdx =
+            static_cast<std::uint32_t>(rng.nextBounded(tasks.size()));
+        Task *task = tasks[taskIdx];
         switch (rng.nextBounded(10)) {
           case 0:
           case 1: { // mmap (occasionally huge)
@@ -93,11 +104,17 @@ TEST_P(Chaos, EverythingAtOnceHoldsTheInvariant)
                                    (1 + rng.nextBounded(12)) *
                                        kPageSize,
                                    kProtRead | kProtWrite);
-            if (m.ok)
+            if (m.ok) {
+                const std::uint64_t pages =
+                    huge ? kHugePageSpan
+                         : pagesSpanned(m.addr, kPageSize);
                 regions.push_back(
-                    {task, m.addr,
-                     huge ? kHugePageSpan
-                          : pagesSpanned(m.addr, kPageSize), huge});
+                    {task, taskIdx, m.addr, pages, huge, nextSlot});
+                repro.ops.push_back(
+                    Op{huge ? OpKind::MmapHuge : OpKind::Mmap,
+                       taskIdx, nextSlot++, huge ? 1 : pages, 0,
+                       true});
+            }
             break;
           }
           case 2:
@@ -107,12 +124,18 @@ TEST_P(Chaos, EverythingAtOnceHoldsTheInvariant)
             if (regions.empty())
                 break;
             Region &r = regions[rng.nextBounded(regions.size())];
-            Task *toucher = tasks[rng.nextBounded(tasks.size())];
+            const std::uint32_t toucherIdx =
+                static_cast<std::uint32_t>(
+                    rng.nextBounded(tasks.size()));
+            Task *toucher = tasks[toucherIdx];
             if (toucher->process() != r.owner->process())
                 break;
             const std::uint64_t page = rng.nextBounded(r.pages);
             Addr addr = r.addr + page * kPageSize;
-            kernel.touch(toucher, addr, rng.nextBool(0.4));
+            const bool write = rng.nextBool(0.4);
+            kernel.touch(toucher, addr, write);
+            repro.ops.push_back(Op{OpKind::Touch, toucherIdx,
+                                   r.slot, 0, page, write});
             if (!r.huge && rng.nextBool(0.2))
                 toucher->mm().setContentTag(
                     pageOf(addr), 1 + rng.nextBounded(6));
@@ -126,6 +149,8 @@ TEST_P(Chaos, EverythingAtOnceHoldsTheInvariant)
             Region r = regions[idx];
             regions.erase(regions.begin() + idx);
             kernel.munmap(r.owner, r.addr, r.pages * kPageSize);
+            repro.ops.push_back(Op{OpKind::Munmap, r.ownerIdx,
+                                   r.slot, 0, 0, false});
             break;
           }
           case 8: { // madvise part
@@ -134,11 +159,17 @@ TEST_P(Chaos, EverythingAtOnceHoldsTheInvariant)
             Region &r = regions[rng.nextBounded(regions.size())];
             kernel.madvise(r.owner, r.addr,
                            (1 + rng.nextBounded(r.pages)) * kPageSize);
+            repro.ops.push_back(Op{OpKind::Madvise, r.ownerIdx,
+                                   r.slot, 0, 0, false});
             break;
           }
-          default:
-            machine.run(rng.nextBounded(2000) * kUsec + 10 * kUsec);
+          default: {
+            const std::uint64_t usec = rng.nextBounded(2000) + 10;
+            machine.run(usec * kUsec);
+            repro.ops.push_back(
+                Op{OpKind::Advance, 0, 0, usec, 0, false});
             break;
+          }
         }
     }
 
@@ -148,15 +179,33 @@ TEST_P(Chaos, EverythingAtOnceHoldsTheInvariant)
     compactor.stop();
     thp.stop();
 
-    for (const Region &r : regions)
+    for (const Region &r : regions) {
         kernel.munmap(r.owner, r.addr, r.pages * kPageSize);
+        repro.ops.push_back(
+            Op{OpKind::Munmap, r.ownerIdx, r.slot, 0, 0, false});
+    }
     machine.run(12 * kMsec);
+    repro.ops.push_back(Op{OpKind::Quiesce, 0, 0, 0, 0, false});
 
     EXPECT_EQ(machine.checker()->violations(), 0u)
         << machine.checker()->firstViolation();
     EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
     EXPECT_EQ(pa->mm().heldBackBytes(), 0u);
     EXPECT_EQ(pb->mm().heldBackBytes(), 0u);
+
+    if (::testing::Test::HasFailure()) {
+        const std::string stem =
+            std::string("chaos_") + policyKindName(param.policy) +
+            "_seed" + std::to_string(param.seed);
+        ADD_FAILURE()
+            << "failing tuple: {policy="
+            << policyKindName(param.policy)
+            << ", seed=" << param.seed << ", pcid=off}; "
+            << test::dumpFailureRepro(
+                   repro, stem,
+                   "background daemons (autonuma/swap/ksm/compaction/"
+                   "khugepaged) are not captured by this script");
+    }
 }
 
 std::vector<ChaosParam>

@@ -1,0 +1,87 @@
+// Seed regression corpus: hand-written scripts pinning the paper's
+// interesting boundary behaviors (LATR ring-full fallback, ABIS scan
+// batching, Barrelfish message shootdown, PCID on/off). Each must
+// stay clean and cross-policy equivalent forever; the ring-full
+// script must additionally keep exercising the fallback-IPI path.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/executor.hh"
+#include "check/fuzzer.hh"
+#include "check/script.hh"
+
+#ifndef LATR_TEST_CORPUS_DIR
+#error "LATR_TEST_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace latr
+{
+namespace
+{
+
+Script
+loadCorpus(const std::string &name)
+{
+    Script script;
+    std::string err;
+    const std::string path =
+        std::string(LATR_TEST_CORPUS_DIR) + "/" + name;
+    EXPECT_TRUE(loadScriptFile(path, &script, &err))
+        << path << ": " << err;
+    return script;
+}
+
+class CorpusScript : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CorpusScript, StaysCleanAndEquivalent)
+{
+    Script script = loadCorpus(GetParam());
+    ASSERT_FALSE(script.ops.empty());
+    EXPECT_EQ(checkScript(script, ExecOptions{}), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CorpusScript,
+    ::testing::Values("latr_ring_full.script",
+                      "abis_scan_boundary.script",
+                      "barrelfish_remote_unmap.script",
+                      "pcid_on.script", "pcid_off.script"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        return name.substr(0, name.find('.'));
+    });
+
+TEST(CorpusRingFull, BurstOverflowsTheRingIntoFallbackIpis)
+{
+    Script script = loadCorpus("latr_ring_full.script");
+    RunResult run =
+        runScript(script, PolicyKind::Latr, ExecOptions{});
+    EXPECT_EQ(run.stalenessViolations, 0u) << run.firstStaleness;
+    EXPECT_EQ(run.invariantViolations, 0u) << run.firstInvariant;
+    // 70 back-to-back lazy munmaps against a 64-entry ring: the
+    // overflow must have taken the synchronous escape hatch. If this
+    // drops to zero the script no longer reaches the boundary it
+    // was written to pin.
+    EXPECT_GT(run.latrFallbackIpis, 0u);
+}
+
+TEST(CorpusRingFull, SyncOverrideNeverTouchesTheRing)
+{
+    Script script = loadCorpus("latr_ring_full.script");
+    for (Op &op : script.ops)
+        if (op.kind == OpKind::Munmap)
+            op.kind = OpKind::MunmapSync;
+    RunResult run =
+        runScript(script, PolicyKind::Latr, ExecOptions{});
+    EXPECT_EQ(run.stalenessViolations, 0u) << run.firstStaleness;
+    // syncRequested bypasses the ring entirely, so the same burst
+    // produces no ring-full fallbacks.
+    EXPECT_EQ(run.latrFallbackIpis, 0u);
+}
+
+} // namespace
+} // namespace latr

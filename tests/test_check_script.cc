@@ -1,0 +1,135 @@
+// Tests for the conformance harness's op-script layer: generator
+// determinism, the stable text form, and its parser.
+
+#include <gtest/gtest.h>
+
+#include "check/script.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(CheckScript, GeneratorIsDeterministic)
+{
+    GenOptions gen;
+    gen.numOps = 120;
+    Script a = generateScript(42, gen);
+    Script b = generateScript(42, gen);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    EXPECT_EQ(serializeScript(a), serializeScript(b));
+}
+
+TEST(CheckScript, DifferentSeedsDiffer)
+{
+    GenOptions gen;
+    gen.numOps = 120;
+    EXPECT_NE(serializeScript(generateScript(1, gen)),
+              serializeScript(generateScript(2, gen)));
+}
+
+TEST(CheckScript, GeneratorEndsWithQuiesce)
+{
+    GenOptions gen;
+    gen.numOps = 30;
+    Script s = generateScript(7, gen);
+    ASSERT_EQ(s.ops.size(), 31u); // numOps + trailing quiesce
+    EXPECT_EQ(s.ops.back().kind, OpKind::Quiesce);
+}
+
+TEST(CheckScript, SerializeParseRoundTrip)
+{
+    GenOptions gen;
+    gen.numOps = 200;
+    gen.pcid = true;
+    gen.procs = 3;
+    Script original = generateScript(99, gen);
+
+    Script parsed;
+    std::string err;
+    ASSERT_TRUE(parseScript(serializeScript(original), &parsed, &err))
+        << err;
+    EXPECT_EQ(parsed.seed, original.seed);
+    EXPECT_EQ(parsed.pcid, original.pcid);
+    EXPECT_EQ(parsed.procs, original.procs);
+    ASSERT_EQ(parsed.ops.size(), original.ops.size());
+    // The text form is the canonical equality witness.
+    EXPECT_EQ(serializeScript(parsed), serializeScript(original));
+}
+
+TEST(CheckScript, ParserSkipsCommentsAndBlankLines)
+{
+    Script s;
+    std::string err;
+    ASSERT_TRUE(parseScript("# a comment\n"
+                            "\n"
+                            "seed 5\n"
+                            "pcid 1\n"
+                            "procs 2\n"
+                            "  \n"
+                            "mmap 0 3 16 rw\n"
+                            "# trailing comment\n"
+                            "quiesce\n",
+                            &s, &err))
+        << err;
+    EXPECT_EQ(s.seed, 5u);
+    EXPECT_TRUE(s.pcid);
+    EXPECT_EQ(s.procs, 2u);
+    ASSERT_EQ(s.ops.size(), 2u);
+    EXPECT_EQ(s.ops[0].kind, OpKind::Mmap);
+    EXPECT_EQ(s.ops[0].task, 0u);
+    EXPECT_EQ(s.ops[0].slot, 3u);
+    EXPECT_EQ(s.ops[0].value, 16u);
+    EXPECT_TRUE(s.ops[0].rw);
+    EXPECT_EQ(s.ops[1].kind, OpKind::Quiesce);
+}
+
+TEST(CheckScript, ParserRejectsUnknownDirective)
+{
+    Script s;
+    std::string err;
+    EXPECT_FALSE(parseScript("seed 1\nfrobnicate 0 1\n", &s, &err));
+    EXPECT_NE(err.find("line 2"), std::string::npos);
+    EXPECT_NE(err.find("frobnicate"), std::string::npos);
+}
+
+TEST(CheckScript, ParserRejectsMalformedOps)
+{
+    Script s;
+    std::string err;
+    // Missing access token.
+    EXPECT_FALSE(parseScript("mmap 0 1 16\n", &s, &err));
+    // Bad access token.
+    EXPECT_FALSE(parseScript("touch 0 1 2 x\n", &s, &err));
+    // Missing operand.
+    EXPECT_FALSE(parseScript("munmap 0\n", &s, &err));
+    // procs must be positive.
+    EXPECT_FALSE(parseScript("procs 0\n", &s, &err));
+}
+
+TEST(CheckScript, FileRoundTrip)
+{
+    GenOptions gen;
+    gen.numOps = 50;
+    Script original = generateScript(13, gen);
+    const std::string path =
+        ::testing::TempDir() + "check_script_roundtrip.script";
+    ASSERT_TRUE(saveScriptFile(path, original));
+
+    Script loaded;
+    std::string err;
+    ASSERT_TRUE(loadScriptFile(path, &loaded, &err)) << err;
+    EXPECT_EQ(serializeScript(loaded), serializeScript(original));
+}
+
+TEST(CheckScript, LoadMissingFileFails)
+{
+    Script s;
+    std::string err;
+    EXPECT_FALSE(
+        loadScriptFile("/nonexistent/no.script", &s, &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace latr

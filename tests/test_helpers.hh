@@ -8,6 +8,13 @@
 #ifndef LATR_TESTS_TEST_HELPERS_HH_
 #define LATR_TESTS_TEST_HELPERS_HH_
 
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.hh"
+#include "check/script.hh"
 #include "machine/machine.hh"
 #include "topo/machine_config.hh"
 
@@ -37,6 +44,46 @@ touchRange(Kernel &kernel, Task *task, Addr addr, std::uint64_t len,
     for (std::uint64_t p = 0; p < pages; ++p)
         d += kernel.touch(task, addr + p * kPageSize, write).latency;
     return d;
+}
+
+/**
+ * Dump a failing randomized test's recorded op soup as a replayable
+ * script, and — when it also fails under the conformance executor —
+ * minimize it first. @return a human-readable line naming the dump
+ * and how to replay it, for a gtest failure message.
+ *
+ * @param header optional extra `#` comment line for the dump (e.g.
+ *        noting what the script cannot capture).
+ */
+inline std::string
+dumpFailureRepro(const Script &script, const std::string &stem,
+                 const std::string &header = "")
+{
+    std::string path = ::testing::TempDir() + stem + ".script";
+    const std::string reason = checkScript(script, ExecOptions{});
+    Script dump = script;
+    if (!reason.empty()) {
+        const std::string category = failureCategory(reason);
+        dump = minimizeScript(
+            script,
+            [&](const Script &candidate) {
+                return failureCategory(checkScript(candidate,
+                                                   ExecOptions{})) ==
+                       category;
+            },
+            /*max_evals=*/120);
+        path = ::testing::TempDir() + stem + ".min.script";
+    }
+    std::ofstream out(path);
+    if (!header.empty())
+        out << "# " << header << "\n";
+    out << serializeScript(dump);
+    out.close();
+    std::string msg = "repro script: " + path +
+                      " (replay: latrsim_check --replay=" + path + ")";
+    if (!reason.empty())
+        msg += "; conformance executor also fails: " + reason;
+    return msg;
 }
 
 } // namespace latr::test

@@ -64,6 +64,37 @@ TEST(Invariant, FirstViolationIsKept)
     EXPECT_EQ(c.firstViolation(), first);
 }
 
+TEST(Invariant, FirstViolationNamesFrameAndLiveRefs)
+{
+    InvariantChecker c;
+    c.onTlbInsert(0, 100, 41, 0);
+    c.onTlbInsert(1, 100, 41, 0);
+    c.onTlbInsert(2, 300, 41, 2);
+    c.onFrameFree(41);
+    const std::string &first = c.firstViolation();
+    // The report must identify the frame and how many TLB entries
+    // still translated it — that is what makes it actionable.
+    EXPECT_NE(first.find("pfn 41"), std::string::npos) << first;
+    EXPECT_NE(first.find("3 live TLB refs"), std::string::npos)
+        << first;
+    EXPECT_NE(first.find("freed while still mapped"),
+              std::string::npos)
+        << first;
+}
+
+TEST(Invariant, AllocViolationMessageIsDistinctFromFree)
+{
+    InvariantChecker c;
+    c.onTlbInsert(0, 100, 9, 0);
+    c.onFrameAlloc(9);
+    EXPECT_NE(c.firstViolation().find("allocated while still mapped"),
+              std::string::npos)
+        << c.firstViolation();
+    EXPECT_NE(c.firstViolation().find("1 live TLB refs"),
+              std::string::npos)
+        << c.firstViolation();
+}
+
 TEST(Invariant, ResetClearsState)
 {
     InvariantChecker c;
@@ -80,6 +111,14 @@ TEST(InvariantDeath, StrictModePanicsImmediately)
     InvariantChecker c(/*strict=*/true);
     c.onTlbInsert(0, 100, 7, 0);
     EXPECT_DEATH(c.onFrameFree(7), "reuse invariant");
+}
+
+TEST(InvariantDeath, StrictPanicCarriesTheFormattedDetail)
+{
+    InvariantChecker c(/*strict=*/true);
+    c.onTlbInsert(0, 100, 7, 0);
+    c.onTlbInsert(1, 100, 7, 0);
+    EXPECT_DEATH(c.onFrameFree(7), "pfn 7, 2 live TLB refs");
 }
 
 TEST(InvariantDeath, UntrackedRemoveIsASimulatorBug)

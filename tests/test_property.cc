@@ -47,14 +47,26 @@ TEST_P(RandomOpSoup, InvariantHoldsAndMemoryBalances)
     struct Region
     {
         Task *owner;
+        std::uint32_t ownerIdx;
         Addr addr;
         std::uint64_t pages;
+        std::uint32_t slot;
     };
     std::vector<Region> regions;
 
+    // Record every executed op as a conformance-harness script so a
+    // failure dumps a replayable (and minimizable) reproducer.
+    Script repro;
+    repro.seed = param.seed;
+    repro.pcid = param.pcid;
+    repro.procs = 2;
+    std::uint32_t nextSlot = 0;
+
     const int kOps = 1200;
     for (int op = 0; op < kOps; ++op) {
-        Task *task = tasks[rng.nextBounded(tasks.size())];
+        const std::uint32_t taskIdx =
+            static_cast<std::uint32_t>(rng.nextBounded(tasks.size()));
+        Task *task = tasks[taskIdx];
         const unsigned kind = static_cast<unsigned>(rng.nextBounded(10));
         switch (kind) {
           case 0:
@@ -62,8 +74,12 @@ TEST_P(RandomOpSoup, InvariantHoldsAndMemoryBalances)
             std::uint64_t pages = 1 + rng.nextBounded(8);
             SyscallResult m = kernel.mmap(task, pages * kPageSize,
                                           kProtRead | kProtWrite);
-            if (m.ok)
-                regions.push_back({task, m.addr, pages});
+            if (m.ok) {
+                regions.push_back(
+                    {task, taskIdx, m.addr, pages, nextSlot});
+                repro.ops.push_back(Op{OpKind::Mmap, taskIdx,
+                                       nextSlot++, pages, 0, true});
+            }
             break;
           }
           case 2:
@@ -72,12 +88,17 @@ TEST_P(RandomOpSoup, InvariantHoldsAndMemoryBalances)
             if (regions.empty())
                 break;
             Region &r = regions[rng.nextBounded(regions.size())];
-            Task *toucher = tasks[rng.nextBounded(tasks.size())];
+            const std::uint32_t toucherIdx =
+                static_cast<std::uint32_t>(
+                    rng.nextBounded(tasks.size()));
+            Task *toucher = tasks[toucherIdx];
             if (toucher->process() != r.owner->process())
                 break;
-            Addr addr =
-                r.addr + rng.nextBounded(r.pages) * kPageSize;
-            kernel.touch(toucher, addr, rng.nextBool(0.5));
+            const std::uint64_t page = rng.nextBounded(r.pages);
+            const bool write = rng.nextBool(0.5);
+            kernel.touch(toucher, r.addr + page * kPageSize, write);
+            repro.ops.push_back(Op{OpKind::Touch, toucherIdx, r.slot,
+                                   0, page, write});
             break;
           }
           case 5:
@@ -88,6 +109,8 @@ TEST_P(RandomOpSoup, InvariantHoldsAndMemoryBalances)
             Region r = regions[idx];
             regions.erase(regions.begin() + idx);
             kernel.munmap(r.owner, r.addr, r.pages * kPageSize);
+            repro.ops.push_back(Op{OpKind::Munmap, r.ownerIdx,
+                                   r.slot, 0, 0, false});
             break;
           }
           case 7: { // madvise part of a region
@@ -96,29 +119,39 @@ TEST_P(RandomOpSoup, InvariantHoldsAndMemoryBalances)
             Region &r = regions[rng.nextBounded(regions.size())];
             std::uint64_t n = 1 + rng.nextBounded(r.pages);
             kernel.madvise(r.owner, r.addr, n * kPageSize);
+            repro.ops.push_back(Op{OpKind::Madvise, r.ownerIdx,
+                                   r.slot, 0, 0, false});
             break;
           }
           case 8: { // mprotect flip
             if (regions.empty())
                 break;
             Region &r = regions[rng.nextBounded(regions.size())];
+            const bool rw = !rng.nextBool(0.5);
             kernel.mprotect(r.owner, r.addr, r.pages * kPageSize,
-                            rng.nextBool(0.5)
-                                ? kProtRead
-                                : kProtRead | kProtWrite);
+                            rw ? kProtRead | kProtWrite : kProtRead);
+            repro.ops.push_back(Op{OpKind::Mprotect, r.ownerIdx,
+                                   r.slot, 0, 0, rw});
             break;
           }
           default: { // advance time
-            machine.run(rng.nextBounded(400) * kUsec + kUsec);
+            const std::uint64_t usec = rng.nextBounded(400) + 1;
+            machine.run(usec * kUsec);
+            repro.ops.push_back(
+                Op{OpKind::Advance, 0, 0, usec, 0, false});
             break;
           }
         }
     }
 
     // Unmap everything left and settle all lazy work.
-    for (const Region &r : regions)
+    for (const Region &r : regions) {
         kernel.munmap(r.owner, r.addr, r.pages * kPageSize);
+        repro.ops.push_back(
+            Op{OpKind::Munmap, r.ownerIdx, r.slot, 0, 0, false});
+    }
     machine.run(10 * kMsec);
+    repro.ops.push_back(Op{OpKind::Quiesce, 0, 0, 0, 0, false});
 
     EXPECT_EQ(machine.checker()->violations(), 0u)
         << machine.checker()->firstViolation();
@@ -132,6 +165,18 @@ TEST_P(RandomOpSoup, InvariantHoldsAndMemoryBalances)
         machine.scheduler().tlbOf(c).flushAll();
     }
     EXPECT_EQ(machine.checker()->mirroredEntries(), 0u);
+
+    if (::testing::Test::HasFailure()) {
+        const std::string stem =
+            std::string("property_") + policyKindName(param.policy) +
+            "_seed" + std::to_string(param.seed) +
+            (param.pcid ? "_pcid" : "_nopcid");
+        ADD_FAILURE() << "failing tuple: {policy="
+                      << policyKindName(param.policy)
+                      << ", seed=" << param.seed
+                      << ", pcid=" << (param.pcid ? "on" : "off")
+                      << "}; " << test::dumpFailureRepro(repro, stem);
+    }
 }
 
 std::vector<Soup>
