@@ -1,0 +1,272 @@
+// bench_engine: microbenchmarks of the simulation engine itself, the
+// substrate every figure/table bench stands on. Three scenarios:
+//
+//   event_churn  — raw EventQueue schedule/dispatch throughput: a set
+//                  of self-rescheduling events plus a stream of
+//                  one-off lambdas, the engine's two scheduling idioms.
+//   tlb_churn    — Tlb insert/lookup/invalidate storm over a working
+//                  set larger than the TLB, the hottest data structure
+//                  in a machine simulation.
+//   munmap_storm — a full 16-core machine running the paper's munmap
+//                  microbenchmark back-to-back under Linux and LATR,
+//                  measuring end-to-end simulated events per second of
+//                  wall time.
+//
+// Each scenario reports events/sec; `--json=FILE` writes the rows in
+// the shared BENCH_*.json shape so the perf trajectory is tracked
+// from run to run. `--check-against=BASELINE.json` exits nonzero if
+// the munmap_storm headline regresses more than --max-regression
+// (default 0.30) below the baseline — the CI perf-smoke gate.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "hw/tlb.hh"
+#include "machine/machine.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "workload/microbench.hh"
+
+using namespace latr;
+
+namespace
+{
+
+double
+wallSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct ScenarioResult
+{
+    const char *name;
+    std::uint64_t events;
+    double wallSec;
+
+    double
+    eventsPerSec() const
+    {
+        return wallSec > 0 ? static_cast<double>(events) / wallSec
+                           : 0.0;
+    }
+};
+
+/** A self-rescheduling event: the scheduler-tick idiom. */
+class ChurnEvent : public Event
+{
+  public:
+    ChurnEvent(EventQueue *q, Duration period)
+        : q_(q), period_(period)
+    {}
+
+    void
+    process() override
+    {
+        q_->schedule(this, q_->now() + period_);
+    }
+
+    const char *name() const override { return "churn"; }
+
+  private:
+    EventQueue *q_;
+    Duration period_;
+};
+
+ScenarioResult
+runEventChurn()
+{
+    constexpr std::uint64_t kDispatches = 6'000'000;
+    EventQueue q;
+    std::vector<ChurnEvent> ring;
+    ring.reserve(64);
+    for (unsigned i = 0; i < 64; ++i) {
+        ring.emplace_back(&q, 64 + i % 7);
+        q.schedule(&ring.back(), 1 + i);
+    }
+    // A lambda stream rides along: one-off callbacks are the other
+    // scheduling idiom the machines use (IPI deliveries, deferred
+    // reclamation), and they exercise the owned-event pool.
+    std::uint64_t lambdaBudget = kDispatches / 4;
+    class LambdaFeeder : public Event
+    {
+      public:
+        LambdaFeeder(EventQueue *q, std::uint64_t *budget)
+            : q_(q), budget_(budget)
+        {}
+
+        void
+        process() override
+        {
+            for (int i = 0; i < 8 && *budget_ > 0; ++i, --*budget_)
+                q_->scheduleLambda(q_->now() + 16 + i, []() {});
+            if (*budget_ > 0)
+                q_->schedule(this, q_->now() + 32);
+        }
+
+      private:
+        EventQueue *q_;
+        std::uint64_t *budget_;
+    };
+    LambdaFeeder feeder(&q, &lambdaBudget);
+    q.schedule(&feeder, 1);
+
+    const auto start = std::chrono::steady_clock::now();
+    while (q.executed() < kDispatches)
+        q.run(q.now() + 4096);
+    const double wall = wallSeconds(start);
+    for (ChurnEvent &ev : ring)
+        q.deschedule(&ev);
+    q.deschedule(&feeder);
+    return {"event_churn", q.executed(), wall};
+}
+
+ScenarioResult
+runTlbChurn()
+{
+    constexpr std::uint64_t kOps = 8'000'000;
+    Tlb tlb(0, 64, 1024, 32);
+    Rng rng(0x7a11);
+    const Vpn workingSet = 4096; // ~4x total TLB capacity
+    std::uint64_t ops = 0;
+    const auto start = std::chrono::steady_clock::now();
+    while (ops < kOps) {
+        const Vpn vpn = rng.nextBounded(workingSet);
+        const Pcid pcid = static_cast<Pcid>(1 + (vpn & 1));
+        Pfn pfn;
+        if (tlb.lookup(vpn, pcid, &pfn) == TlbResult::Miss)
+            tlb.insert(vpn, 0x100000 + vpn, pcid);
+        ++ops;
+        if ((ops & 0x3ff) == 0) { // periodic munmap-like range kill
+            const Vpn base = rng.nextBounded(workingSet);
+            tlb.invalidateRange(base, base + 15, 1);
+            ++ops;
+        }
+        if ((ops & 0xffff) == 0) { // rare context teardown
+            tlb.invalidatePcid(2);
+            ++ops;
+        }
+    }
+    const double wall = wallSeconds(start);
+    return {"tlb_churn", ops, wall};
+}
+
+ScenarioResult
+runMunmapStorm()
+{
+    std::uint64_t events = 0;
+    double wall = 0;
+    for (PolicyKind policy :
+         {PolicyKind::LinuxSync, PolicyKind::Latr}) {
+        Machine machine(MachineConfig::commodity2S16C(), policy);
+        MunmapMicrobenchConfig cfg;
+        cfg.sharingCores = 16;
+        cfg.pages = 4;
+        cfg.iterations = 25000;
+        cfg.warmupIterations = 100;
+        cfg.interIterationGap = 20 * kUsec;
+        const auto start = std::chrono::steady_clock::now();
+        runMunmapMicrobench(machine, cfg);
+        wall += wallSeconds(start);
+        events += machine.queue().executed();
+    }
+    return {"munmap_storm", events, wall};
+}
+
+/**
+ * Pull the munmap_storm events_per_sec out of a BENCH_engine.json
+ * written by an earlier run. @return < 0 when unreadable.
+ */
+double
+baselineEventsPerSec(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return -1.0;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    std::size_t at = text.find("\"munmap_storm\"");
+    if (at == std::string::npos)
+        return -1.0;
+    at = text.find("\"events_per_sec\":", at);
+    if (at == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + at + 17, nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string checkAgainst;
+    double maxRegression = 0.30;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--check-against=", 16) == 0)
+            checkAgainst = argv[i] + 16;
+        else if (std::strncmp(argv[i], "--max-regression=", 17) == 0)
+            maxRegression = std::atof(argv[i] + 17);
+    }
+    // Accept either a fraction (0.30) or a percentage (30).
+    if (maxRegression > 1.0)
+        maxRegression /= 100.0;
+
+    const MachineConfig config = MachineConfig::commodity2S16C();
+    bench::banner("Engine", "simulation-engine throughput", config);
+    bench::paperExpectation(
+        "simulator throughput bounds design-space coverage; engine "
+        "hot paths must be allocation-free");
+    bench::rule();
+    std::printf("%-14s | %14s %10s | %14s\n", "scenario", "events",
+                "wall_s", "events/sec");
+    bench::rule();
+
+    bench::JsonWriter json("Engine", "simulation-engine throughput");
+    double stormEps = 0;
+    for (const ScenarioResult &r :
+         {runEventChurn(), runTlbChurn(), runMunmapStorm()}) {
+        std::printf("%-14s | %14llu %10.3f | %14.0f\n", r.name,
+                    static_cast<unsigned long long>(r.events),
+                    r.wallSec, r.eventsPerSec());
+        json.row()
+            .str("scenario", r.name)
+            .num("events", r.events)
+            .num("wall_sec", r.wallSec)
+            .num("events_per_sec", r.eventsPerSec());
+        if (std::strcmp(r.name, "munmap_storm") == 0)
+            stormEps = r.eventsPerSec();
+    }
+    bench::rule();
+    bench::measuredHeadline("munmap_storm %.0f events/sec", stormEps);
+    json.headline("munmap_storm %.0f events/sec", stormEps);
+    json.write(bench::jsonPathFromArgs(argc, argv));
+
+    if (!checkAgainst.empty()) {
+        const double base = baselineEventsPerSec(checkAgainst);
+        if (base <= 0) {
+            std::fprintf(stderr,
+                         "bench_engine: no munmap_storm baseline in "
+                         "'%s'\n",
+                         checkAgainst.c_str());
+            return 2;
+        }
+        const double floor = base * (1.0 - maxRegression);
+        std::printf("perf gate: %.0f events/sec vs baseline %.0f "
+                    "(floor %.0f): %s\n",
+                    stormEps, base, floor,
+                    stormEps >= floor ? "ok" : "REGRESSION");
+        if (stormEps < floor)
+            return 1;
+    }
+    return 0;
+}

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_runner.hh"
 #include "bench_util.hh"
 #include "machine/machine.hh"
 #include "workload/microbench.hh"
@@ -31,7 +32,7 @@ runPoint(PolicyKind policy, unsigned cores)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const MachineConfig config = MachineConfig::largeNuma8S120C();
     bench::banner("Figure 7",
@@ -49,22 +50,48 @@ main()
 
     const std::vector<unsigned> core_counts = {15, 30, 45, 60,
                                                75, 90, 105, 120};
-    double linux120 = 0, latr120 = 0, linux120_sd = 0;
+    struct Point
+    {
+        unsigned cores;
+        MunmapMicrobenchResult linuxR;
+        MunmapMicrobenchResult latrR;
+    };
+    bench::ParallelRunner<Point> runner(
+        bench::jobsFromArgs(argc, argv));
     for (unsigned cores : core_counts) {
-        MunmapMicrobenchResult linux_r =
-            runPoint(PolicyKind::LinuxSync, cores);
-        MunmapMicrobenchResult latr_r = runPoint(PolicyKind::Latr, cores);
+        runner.submit([cores] {
+            Point p;
+            p.cores = cores;
+            p.linuxR = runPoint(PolicyKind::LinuxSync, cores);
+            p.latrR = runPoint(PolicyKind::Latr, cores);
+            return p;
+        });
+    }
+
+    bench::JsonWriter json(
+        "Figure 7", "munmap(1 page) cost vs. cores, 8-socket machine");
+    double linux120 = 0, latr120 = 0, linux120_sd = 0;
+    for (const Point &p : runner.run()) {
+        const MunmapMicrobenchResult &linux_r = p.linuxR;
+        const MunmapMicrobenchResult &latr_r = p.latrR;
         const double improv =
             linux_r.munmapMeanNs > 0
                 ? 100.0 * (linux_r.munmapMeanNs - latr_r.munmapMeanNs) /
                       linux_r.munmapMeanNs
                 : 0.0;
         std::printf("%6u | %12.2f %12.2f | %12.2f %12.2f | %7.1f%%\n",
-                    cores, bench::us(linux_r.munmapMeanNs),
+                    p.cores, bench::us(linux_r.munmapMeanNs),
                     bench::us(linux_r.shootdownMeanNs),
                     bench::us(latr_r.munmapMeanNs),
                     bench::us(latr_r.shootdownMeanNs), improv);
-        if (cores == 120) {
+        json.row()
+            .num("cores", static_cast<std::uint64_t>(p.cores))
+            .num("linux_us", bench::us(linux_r.munmapMeanNs))
+            .num("linux_sd_us", bench::us(linux_r.shootdownMeanNs))
+            .num("latr_us", bench::us(latr_r.munmapMeanNs))
+            .num("latr_sd_us", bench::us(latr_r.shootdownMeanNs))
+            .num("improvement_pct", improv);
+        if (p.cores == 120) {
             linux120 = linux_r.munmapMeanNs;
             latr120 = latr_r.munmapMeanNs;
             linux120_sd = linux_r.shootdownMeanNs;
@@ -77,5 +104,11 @@ main()
         bench::us(linux120), bench::us(linux120_sd),
         100.0 * linux120_sd / linux120, bench::us(latr120),
         100.0 * (linux120 - latr120) / linux120);
+    json.headline(
+        "at 120 cores: Linux %.2f us, LATR %.2f us, improvement "
+        "%.1f%%",
+        bench::us(linux120), bench::us(latr120),
+        100.0 * (linux120 - latr120) / linux120);
+    json.write(bench::jsonPathFromArgs(argc, argv));
     return 0;
 }

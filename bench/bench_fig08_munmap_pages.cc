@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_runner.hh"
 #include "bench_util.hh"
 #include "machine/machine.hh"
 #include "workload/microbench.hh"
@@ -33,7 +34,7 @@ runPoint(PolicyKind policy, std::uint64_t pages)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const MachineConfig config = MachineConfig::commodity2S16C();
     bench::banner("Figure 8",
@@ -48,27 +49,52 @@ main()
                 "improv", "lazy_KiB");
     bench::rule();
 
+    struct Point
+    {
+        std::uint64_t pages;
+        MunmapMicrobenchResult linuxR;
+        MunmapMicrobenchResult latrR;
+    };
+    bench::ParallelRunner<Point> runner(
+        bench::jobsFromArgs(argc, argv));
+    for (std::uint64_t pages = 1; pages <= 512; pages *= 2) {
+        runner.submit([pages] {
+            Point p;
+            p.pages = pages;
+            p.linuxR = runPoint(PolicyKind::LinuxSync, pages);
+            p.latrR = runPoint(PolicyKind::Latr, pages);
+            return p;
+        });
+    }
+
+    bench::JsonWriter json("Figure 8",
+                           "munmap cost vs. page count (16 cores)");
     double improv1 = 0, improv512 = 0;
     std::uint64_t holdback512 = 0;
-    for (std::uint64_t pages = 1; pages <= 512; pages *= 2) {
-        MunmapMicrobenchResult linux_r =
-            runPoint(PolicyKind::LinuxSync, pages);
-        MunmapMicrobenchResult latr_r = runPoint(PolicyKind::Latr, pages);
+    for (const Point &p : runner.run()) {
+        const MunmapMicrobenchResult &linux_r = p.linuxR;
+        const MunmapMicrobenchResult &latr_r = p.latrR;
         const double improv =
             100.0 * (linux_r.munmapMeanNs - latr_r.munmapMeanNs) /
             linux_r.munmapMeanNs;
         std::printf(
             "%6llu | %12.2f %12.2f | %12.2f %12.2f | %7.1f%% | %10llu\n",
-            static_cast<unsigned long long>(pages),
+            static_cast<unsigned long long>(p.pages),
             bench::us(linux_r.munmapMeanNs),
             bench::us(linux_r.shootdownMeanNs),
             bench::us(latr_r.munmapMeanNs),
             bench::us(latr_r.shootdownMeanNs), improv,
             static_cast<unsigned long long>(latr_r.lazyBytesPeak /
                                             1024));
-        if (pages == 1)
+        json.row()
+            .num("pages", p.pages)
+            .num("linux_us", bench::us(linux_r.munmapMeanNs))
+            .num("latr_us", bench::us(latr_r.munmapMeanNs))
+            .num("improvement_pct", improv)
+            .num("lazy_holdback_bytes", latr_r.lazyBytesPeak);
+        if (p.pages == 1)
             improv1 = improv;
-        if (pages == 512) {
+        if (p.pages == 512) {
             improv512 = improv;
             holdback512 = latr_r.lazyBytesPeak;
         }
@@ -79,5 +105,9 @@ main()
         "lazy holdback %llu KiB",
         improv1, improv512,
         static_cast<unsigned long long>(holdback512 / 1024));
+    json.headline(
+        "improvement %.1f%% at 1 page -> %.1f%% at 512 pages",
+        improv1, improv512);
+    json.write(bench::jsonPathFromArgs(argc, argv));
     return 0;
 }

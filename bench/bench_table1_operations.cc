@@ -5,7 +5,9 @@
 // permission/ownership/remap changes stay synchronous.
 
 #include <cstdio>
+#include <string>
 
+#include "bench_runner.hh"
 #include "bench_util.hh"
 #include "machine/machine.hh"
 
@@ -37,7 +39,7 @@ const OperationRow kRows[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const MachineConfig config = MachineConfig::commodity2S16C();
     bench::banner("Table 1",
@@ -48,9 +50,19 @@ main()
         "ownership, and remap cannot");
     bench::rule();
 
-    Machine machine(config, PolicyKind::Latr);
-    const PolicyCapabilities caps = machine.policy().capabilities();
+    // One probe machine; routed through the runner so this binary
+    // accepts the same --jobs flag as the sweep benches (and stays
+    // byte-identical at any job count).
+    bench::ParallelRunner<PolicyCapabilities> runner(
+        bench::jobsFromArgs(argc, argv));
+    runner.submit([&config] {
+        Machine machine(config, PolicyKind::Latr);
+        return machine.policy().capabilities();
+    });
+    const PolicyCapabilities caps = runner.run().front();
 
+    bench::JsonWriter json(
+        "Table 1", "virtual-address operations and lazy feasibility");
     std::printf("%-12s %-16s %-34s %s\n", "class", "operation",
                 "description", "lazy?");
     bench::rule();
@@ -59,6 +71,10 @@ main()
         std::printf("%-12s %-16s %-34s %s\n", row.classification,
                     row.operation, row.description,
                     row.lazyPossible ? "yes" : "no");
+        json.row()
+            .str("class", row.classification)
+            .str("operation", row.operation)
+            .str("lazy", row.lazyPossible ? "yes" : "no");
         // Cross-check the implementation's own claims.
         const bool is_free =
             std::string(row.classification) == "Free";
@@ -74,5 +90,8 @@ main()
     bench::measuredHeadline(
         "LatrPolicy capabilities agree with the table: %s",
         consistent ? "yes" : "NO (bug)");
+    json.headline("LatrPolicy capabilities agree with the table: %s",
+                  consistent ? "yes" : "NO (bug)");
+    json.write(bench::jsonPathFromArgs(argc, argv));
     return consistent ? 0 : 1;
 }

@@ -10,10 +10,13 @@
 #define LATR_BENCH_BENCH_UTIL_HH_
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "machine/machine.hh"
 #include "topo/machine_config.hh"
@@ -66,6 +69,142 @@ inline double
 us(double ns)
 {
     return ns / 1000.0;
+}
+
+/**
+ * Machine-readable results, written next to the human-readable table
+ * when the bench is invoked with `--json=FILE`. Every bench emits the
+ * same shape — experiment id, description, named rows, and the
+ * measured headline — so BENCH_*.json files can be tracked and
+ * compared uniformly across runs and PRs:
+ *
+ *   {
+ *     "experiment": "Figure 6",
+ *     "description": "...",
+ *     "headline": "...",
+ *     "rows": [ {"cores": 16, "linux_us": 7.9, ...}, ... ]
+ *   }
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter(std::string experiment, std::string description)
+        : experiment_(std::move(experiment)),
+          description_(std::move(description))
+    {}
+
+    /** Start a new row; subsequent num()/str() calls fill it. */
+    JsonWriter &
+    row()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    JsonWriter &
+    num(const char *key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+        rows_.back().emplace_back(key, buf);
+        return *this;
+    }
+
+    JsonWriter &
+    num(const char *key, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(value));
+        rows_.back().emplace_back(key, buf);
+        return *this;
+    }
+
+    JsonWriter &
+    str(const char *key, const std::string &value)
+    {
+        rows_.back().emplace_back(key, quote(value));
+        return *this;
+    }
+
+    /** Record the measured headline (mirrors measuredHeadline()). */
+    void
+    headline(const char *fmt, ...)
+    {
+        char buf[512];
+        va_list args;
+        va_start(args, fmt);
+        std::vsnprintf(buf, sizeof buf, fmt, args);
+        va_end(args);
+        headline_ = buf;
+    }
+
+    /** Write the document; no-op when @p path is empty. */
+    bool
+    write(const std::string &path) const
+    {
+        if (path.empty())
+            return true;
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "json: cannot write '%s'\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"experiment\": %s,\n",
+                     quote(experiment_).c_str());
+        std::fprintf(f, "  \"description\": %s,\n",
+                     quote(description_).c_str());
+        std::fprintf(f, "  \"headline\": %s,\n",
+                     quote(headline_).c_str());
+        std::fprintf(f, "  \"rows\": [");
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            std::fprintf(f, "%s\n    {", i ? "," : "");
+            const auto &row = rows_[i];
+            for (std::size_t j = 0; j < row.size(); ++j)
+                std::fprintf(f, "%s\"%s\": %s", j ? ", " : "",
+                             row[j].first.c_str(),
+                             row[j].second.c_str());
+            std::fprintf(f, "}");
+        }
+        std::fprintf(f, "\n  ]\n}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    static std::string
+    quote(const std::string &s)
+    {
+        std::string out = "\"";
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (c == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    std::string experiment_;
+    std::string description_;
+    std::string headline_;
+    std::vector<std::vector<std::pair<std::string, std::string>>>
+        rows_;
+};
+
+/** `--json=FILE` from the bench's argv ("" when absent). */
+inline std::string
+jsonPathFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            return argv[i] + 7;
+    return "";
 }
 
 /**

@@ -1,63 +1,176 @@
 #include "hw/tlb.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 
 namespace latr
 {
 
+Tlb::Level::Level(unsigned capacity) : capacity_(capacity)
+{
+    if (capacity == 0 || capacity >= kNil)
+        fatal("TLB level capacity %u out of range", capacity);
+    std::uint32_t table_size = 1;
+    while (table_size < 2 * capacity) // ≤50% load
+        table_size <<= 1;
+    mask_ = table_size - 1;
+    table_.assign(table_size, kNil);
+    slots_.resize(capacity);
+    for (unsigned i = 0; i < capacity; ++i)
+        slots_[i].next = static_cast<std::uint16_t>(
+            i + 1 < capacity ? i + 1 : kNil);
+    freeHead_ = 0;
+}
+
+std::uint16_t
+Tlb::Level::findSlot(const Key &k) const
+{
+    std::uint32_t i = hashOf(k) & mask_;
+    while (table_[i] != kNil) {
+        if (slots_[table_[i]].entry.key == k)
+            return table_[i];
+        i = (i + 1) & mask_;
+    }
+    return kNil;
+}
+
+void
+Tlb::Level::unlink(std::uint16_t i)
+{
+    const Slot &s = slots_[i];
+    if (s.prev != kNil)
+        slots_[s.prev].next = s.next;
+    else
+        head_ = s.next;
+    if (s.next != kNil)
+        slots_[s.next].prev = s.prev;
+    else
+        tail_ = s.prev;
+}
+
+void
+Tlb::Level::linkFront(std::uint16_t i)
+{
+    Slot &s = slots_[i];
+    s.prev = kNil;
+    s.next = head_;
+    if (head_ != kNil)
+        slots_[head_].prev = i;
+    else
+        tail_ = i;
+    head_ = i;
+}
+
+void
+Tlb::Level::tableErase(std::uint16_t slot)
+{
+    std::uint32_t i = hashOf(slots_[slot].entry.key) & mask_;
+    while (table_[i] != slot)
+        i = (i + 1) & mask_;
+    // Backward-shift deletion keeps probe chains contiguous without
+    // tombstones: walk forward from the freed cell and pull back any
+    // entry whose home position lies cyclically outside (i, j].
+    std::uint32_t j = i;
+    for (;;) {
+        table_[i] = kNil;
+        std::uint32_t home;
+        do {
+            j = (j + 1) & mask_;
+            if (table_[j] == kNil)
+                return;
+            home = hashOf(slots_[table_[j]].entry.key) & mask_;
+        } while (i <= j ? (home > i && home <= j)
+                        : (home > i || home <= j));
+        table_[i] = table_[j];
+        i = j;
+    }
+}
+
+void
+Tlb::Level::eraseSlot(std::uint16_t i)
+{
+    tableErase(i);
+    unlink(i);
+    slots_[i].next = freeHead_;
+    freeHead_ = i;
+    --size_;
+}
+
 const Tlb::Entry *
 Tlb::Level::touch(const Key &k)
 {
-    auto it = map_.find(k);
-    if (it == map_.end())
+    const std::uint16_t i = findSlot(k);
+    if (i == kNil)
         return nullptr;
-    list_.splice(list_.begin(), list_, it->second);
-    return &*list_.begin();
+    if (i != head_) {
+        unlink(i);
+        linkFront(i);
+    }
+    return &slots_[i].entry;
 }
 
 const Tlb::Entry *
 Tlb::Level::peek(const Key &k) const
 {
-    auto it = map_.find(k);
-    if (it == map_.end())
-        return nullptr;
-    return &*it->second;
+    const std::uint16_t i = findSlot(k);
+    return i == kNil ? nullptr : &slots_[i].entry;
 }
 
 void
 Tlb::Level::insert(const Entry &e, Entry *victim_out, bool *had_victim)
 {
     *had_victim = false;
-    auto it = map_.find(e.key);
-    if (it != map_.end()) {
+    const std::uint16_t existing = findSlot(e.key);
+    if (existing != kNil) {
         // Refresh in place (e.g., remap to a new frame) and touch.
-        it->second->pfn = e.pfn;
-        it->second->writable = e.writable;
-        list_.splice(list_.begin(), list_, it->second);
+        slots_[existing].entry.pfn = e.pfn;
+        slots_[existing].entry.writable = e.writable;
+        if (existing != head_) {
+            unlink(existing);
+            linkFront(existing);
+        }
         return;
     }
-    if (list_.size() >= capacity_) {
-        *victim_out = list_.back();
+    if (size_ >= capacity_) {
+        *victim_out = slots_[tail_].entry;
         *had_victim = true;
-        map_.erase(list_.back().key);
-        list_.pop_back();
+        eraseSlot(tail_);
     }
-    list_.push_front(e);
-    map_[e.key] = list_.begin();
+    const std::uint16_t slot = freeHead_;
+    freeHead_ = slots_[slot].next;
+    slots_[slot].entry = e;
+    linkFront(slot);
+    std::uint32_t pos = hashOf(e.key) & mask_;
+    while (table_[pos] != kNil)
+        pos = (pos + 1) & mask_;
+    table_[pos] = slot;
+    ++size_;
 }
 
 bool
 Tlb::Level::remove(const Key &k, Entry *removed_out)
 {
-    auto it = map_.find(k);
-    if (it == map_.end())
+    const std::uint16_t i = findSlot(k);
+    if (i == kNil)
         return false;
     if (removed_out)
-        *removed_out = *it->second;
-    list_.erase(it->second);
-    map_.erase(it);
+        *removed_out = slots_[i].entry;
+    eraseSlot(i);
     return true;
+}
+
+void
+Tlb::Level::clear()
+{
+    std::fill(table_.begin(), table_.end(), kNil);
+    for (unsigned i = 0; i < capacity_; ++i)
+        slots_[i].next = static_cast<std::uint16_t>(
+            i + 1 < capacity_ ? i + 1 : kNil);
+    freeHead_ = 0;
+    head_ = tail_ = kNil;
+    size_ = 0;
 }
 
 Tlb::Tlb(CoreId core, unsigned l1_entries, unsigned l2_entries,
@@ -216,36 +329,61 @@ Tlb::invalidatePage(Vpn vpn, Pcid pcid)
 }
 
 void
+Tlb::invalidateRangeIn(Level &level, Vpn start_vpn, Vpn end_vpn,
+                       Pcid pcid)
+{
+    // Adaptive: an munmap of a few pages should not pay a scan of a
+    // 1024-entry level, and a giant teardown should not probe every
+    // VPN in the range. span == 0 means the range wrapped the whole
+    // VPN space; treat it as wide.
+    const std::uint64_t span = end_vpn - start_vpn + 1;
+    if (span != 0 && span < level.size()) {
+        Entry removed;
+        for (Vpn v = start_vpn;; ++v) {
+            if (level.remove(Key{v, pcid}, &removed))
+                notifyRemove(removed);
+            if (v == end_vpn)
+                break;
+        }
+    } else {
+        level.removeMatching(
+            [&](const Entry &e) {
+                return e.key.pcid == pcid && e.key.vpn >= start_vpn &&
+                       e.key.vpn <= end_vpn;
+            },
+            [&](const Entry &e) { notifyRemove(e); });
+    }
+}
+
+void
 Tlb::invalidateRange(Vpn start_vpn, Vpn end_vpn, Pcid pcid)
 {
     if (trace_)
         trace_->instantNow("hw", "tlb.inv_range", core_, kTraceNoMm,
                            end_vpn - start_vpn + 1);
-    // Collect first: removal invalidates iterators.
-    auto in_range = [&](const Entry &e) {
-        return e.key.pcid == pcid && e.key.vpn >= start_vpn &&
-               e.key.vpn <= end_vpn;
-    };
-    for (const Key &k : l1_.keysMatching(in_range)) {
-        Entry removed;
-        if (l1_.remove(k, &removed))
-            notifyRemove(removed);
-    }
-    for (const Key &k : l2_.keysMatching(in_range)) {
-        Entry removed;
-        if (l2_.remove(k, &removed))
-            notifyRemove(removed);
-    }
+    invalidateRangeIn(l1_, start_vpn, end_vpn, pcid);
+    invalidateRangeIn(l2_, start_vpn, end_vpn, pcid);
     // Huge entries overlap the range if any of their 512 pages do.
-    auto huge_overlaps = [&](const Entry &e) {
-        return e.key.pcid == pcid &&
-               e.key.vpn <= end_vpn &&
-               e.key.vpn + kHugePageSpan - 1 >= start_vpn;
-    };
-    for (const Key &k : huge_.keysMatching(huge_overlaps)) {
+    // Every huge key is span-aligned, so the overlapping bases are
+    // exactly hugeBaseOf(start) .. hugeBaseOf(end).
+    const Vpn hb_start = hugeBaseOf(start_vpn);
+    const Vpn hb_end = hugeBaseOf(end_vpn);
+    const std::uint64_t bases = (hb_end - hb_start) / kHugePageSpan + 1;
+    if (bases < huge_.size()) {
         Entry removed;
-        if (huge_.remove(k, &removed))
-            notifyRemove(removed);
+        for (Vpn b = hb_start;; b += kHugePageSpan) {
+            if (huge_.remove(Key{b, pcid}, &removed))
+                notifyRemove(removed);
+            if (b == hb_end)
+                break;
+        }
+    } else {
+        huge_.removeMatching(
+            [&](const Entry &e) {
+                return e.key.pcid == pcid && e.key.vpn <= end_vpn &&
+                       e.key.vpn + kHugePageSpan - 1 >= start_vpn;
+            },
+            [&](const Entry &e) { notifyRemove(e); });
     }
 }
 
@@ -256,21 +394,10 @@ Tlb::invalidatePcid(Pcid pcid)
         trace_->instantNow("hw", "tlb.inv_pcid", core_, kTraceNoMm,
                            pcid);
     auto match = [&](const Entry &e) { return e.key.pcid == pcid; };
-    for (const Key &k : l1_.keysMatching(match)) {
-        Entry removed;
-        if (l1_.remove(k, &removed))
-            notifyRemove(removed);
-    }
-    for (const Key &k : l2_.keysMatching(match)) {
-        Entry removed;
-        if (l2_.remove(k, &removed))
-            notifyRemove(removed);
-    }
-    for (const Key &k : huge_.keysMatching(match)) {
-        Entry removed;
-        if (huge_.remove(k, &removed))
-            notifyRemove(removed);
-    }
+    auto notify = [&](const Entry &e) { notifyRemove(e); };
+    l1_.removeMatching(match, notify);
+    l2_.removeMatching(match, notify);
+    huge_.removeMatching(match, notify);
 }
 
 void

@@ -7,14 +7,18 @@
  * selective flushes. An optional listener observes every insertion
  * and removal, which the invariant checker uses to prove the paper's
  * reuse invariant.
+ *
+ * Each level is a fixed-capacity slot array allocated once at
+ * construction: true-LRU order is an intrusive prev/next index chain
+ * through the slots, and lookup is an open-addressing (linear probe,
+ * backward-shift deletion) index table — the hottest simulator path
+ * performs zero heap allocation after the TLB is built.
  */
 
 #ifndef LATR_HW_TLB_HH_
 #define LATR_HW_TLB_HH_
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -128,7 +132,11 @@ class Tlb
     /** INVLPG: drop one page's translation under @p pcid. */
     void invalidatePage(Vpn vpn, Pcid pcid);
 
-    /** Drop every translation for pages in [start_vpn, end_vpn]. */
+    /**
+     * Drop every translation for pages in [start_vpn, end_vpn].
+     * Adaptive: when the range is narrower than a level's occupancy
+     * it probes each VPN directly; otherwise it scans the level.
+     */
     void invalidateRange(Vpn start_vpn, Vpn end_vpn, Pcid pcid);
 
     /** Drop every translation tagged @p pcid. */
@@ -168,16 +176,6 @@ class Tlb
         }
     };
 
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return std::hash<std::uint64_t>()(
-                (static_cast<std::uint64_t>(k.pcid) << 48) ^ k.vpn);
-        }
-    };
-
     struct Entry
     {
         Key key;
@@ -185,13 +183,18 @@ class Tlb
         bool writable;
     };
 
-    /** One fully associative LRU level. */
+    /**
+     * One fully associative LRU level: a slot array sized once at
+     * construction, an intrusive MRU→LRU index chain through the
+     * slots, and a linear-probe index table at ≤50% load. No member
+     * allocates after the constructor.
+     */
     class Level
     {
       public:
-        explicit Level(unsigned capacity) : capacity_(capacity) {}
+        explicit Level(unsigned capacity);
 
-        bool contains(const Key &k) const { return map_.count(k) != 0; }
+        bool contains(const Key &k) const { return findSlot(k) != kNil; }
 
         /** Find and touch (move to MRU). @return entry or nullptr. */
         const Entry *touch(const Key &k);
@@ -208,39 +211,91 @@ class Tlb
         /** Remove by key. @return true if present. */
         bool remove(const Key &k, Entry *removed_out = nullptr);
 
-        std::size_t size() const { return list_.size(); }
+        std::size_t size() const { return size_; }
 
-        /** Invoke @p fn on each entry; removal is not allowed in fn. */
+        /** Invoke @p fn on each entry, MRU first; no removal in fn. */
         template <typename Fn>
         void
         forEach(Fn &&fn) const
         {
-            for (const auto &e : list_)
-                fn(e);
+            for (std::uint16_t i = head_; i != kNil;
+                 i = slots_[i].next)
+                fn(slots_[i].entry);
         }
 
-        void clear() { list_.clear(); map_.clear(); }
-
-        /** Collect keys matching @p pred (for selective flushes). */
-        template <typename Pred>
-        std::vector<Key>
-        keysMatching(Pred &&pred) const
+        /**
+         * Remove every entry matching @p pred, MRU-to-LRU order,
+         * invoking @p on_remove with a copy of each removed entry.
+         */
+        template <typename Pred, typename OnRemove>
+        void
+        removeMatching(Pred &&pred, OnRemove &&on_remove)
         {
-            std::vector<Key> keys;
-            for (const auto &e : list_)
-                if (pred(e))
-                    keys.push_back(e.key);
-            return keys;
+            std::uint16_t i = head_;
+            while (i != kNil) {
+                const std::uint16_t next = slots_[i].next;
+                if (pred(slots_[i].entry)) {
+                    const Entry removed = slots_[i].entry;
+                    eraseSlot(i);
+                    on_remove(removed);
+                }
+                i = next;
+            }
         }
+
+        void clear();
 
       private:
+        static constexpr std::uint16_t kNil = 0xffff;
+
+        struct Slot
+        {
+            Entry entry;
+            /** LRU chain while live; next doubles as free-list link. */
+            std::uint16_t prev;
+            std::uint16_t next;
+        };
+
+        static std::uint32_t
+        hashOf(const Key &k)
+        {
+            std::uint64_t h =
+                (static_cast<std::uint64_t>(k.pcid) << 48) ^ k.vpn;
+            h *= 0x9e3779b97f4a7c15ULL; // Fibonacci mix
+            return static_cast<std::uint32_t>(h >> 32);
+        }
+
+        /** Probe the index table. @return slot index or kNil. */
+        std::uint16_t findSlot(const Key &k) const;
+
+        /** Unlink slot @p i from the LRU chain. */
+        void unlink(std::uint16_t i);
+
+        /** Link slot @p i at the MRU head. */
+        void linkFront(std::uint16_t i);
+
+        /** Erase the table entry pointing at slot @p i (backward shift). */
+        void tableErase(std::uint16_t i);
+
+        /** Remove slot @p i entirely (table, chain, free list). */
+        void eraseSlot(std::uint16_t i);
+
         unsigned capacity_;
-        std::list<Entry> list_; // front = MRU
-        std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+        std::uint32_t mask_; // table size - 1 (power of two)
+        std::size_t size_ = 0;
+        std::uint16_t head_ = kNil; // MRU
+        std::uint16_t tail_ = kNil; // LRU
+        std::uint16_t freeHead_ = kNil;
+        std::vector<Slot> slots_;
+        std::vector<std::uint16_t> table_; // slot index or kNil
     };
 
     void notifyInsert(const Entry &e);
     void notifyRemove(const Entry &e);
+
+    /** invalidateRange over one 4 KiB level, probe or scan. */
+    void invalidateRangeIn(Level &level, Vpn start_vpn, Vpn end_vpn,
+                           Pcid pcid);
 
     CoreId core_;
     Level l1_;

@@ -161,41 +161,4 @@ PageTable::forEachHuge(const std::function<void(Vpn, Pte &)> &fn)
         fn(kv.first, kv.second);
 }
 
-void
-PageTable::forEachPresent(Vpn start_vpn, Vpn end_vpn,
-                          const std::function<void(Vpn, Pte &)> &fn)
-{
-    // Walk only the allocated subtrees overlapping the range.
-    for (unsigned i3 = index(start_vpn, 3); i3 <= index(end_vpn, 3);
-         ++i3) {
-        auto &l3 = root_.children[i3];
-        if (!l3)
-            continue;
-        for (unsigned i2 = 0; i2 < kFanout; ++i2) {
-            auto &l2 = l3->children[i2];
-            if (!l2)
-                continue;
-            for (unsigned i1 = 0; i1 < kFanout; ++i1) {
-                auto &leaf = l2->children[i1];
-                if (!leaf)
-                    continue;
-                const Vpn base =
-                    (static_cast<Vpn>(i3) << (kBitsPerLevel * 3)) |
-                    (static_cast<Vpn>(i2) << (kBitsPerLevel * 2)) |
-                    (static_cast<Vpn>(i1) << kBitsPerLevel);
-                if (base + kFanout <= start_vpn || base > end_vpn)
-                    continue;
-                for (unsigned i0 = 0; i0 < kFanout; ++i0) {
-                    const Vpn vpn = base | i0;
-                    if (vpn < start_vpn || vpn > end_vpn)
-                        continue;
-                    Pte &pte = leaf->ptes[i0];
-                    if (pte.present())
-                        fn(vpn, pte);
-                }
-            }
-        }
-    }
-}
-
 } // namespace latr

@@ -97,11 +97,62 @@ class PageTable
     void clearFlags(Vpn vpn, std::uint8_t flags);
 
     /**
-     * Invoke @p fn on every present PTE in [start_vpn, end_vpn].
-     * The callback may modify the PTE but must not map/unmap.
+     * Invoke @p fn on every present PTE in [start_vpn, end_vpn], in
+     * ascending VPN order. The callback may modify the PTE but must
+     * not map/unmap. Only allocated subtrees overlapping the range
+     * are walked, and every level's loop is clamped to the range —
+     * a 4-page munmap touches one leaf, not the whole table. This is
+     * the kernel's inner loop for unmap/protect/NUMA sweeps, so it
+     * is a template: the callback inlines instead of going through
+     * std::function.
      */
-    void forEachPresent(Vpn start_vpn, Vpn end_vpn,
-                        const std::function<void(Vpn, Pte &)> &fn);
+    template <typename Fn>
+    void
+    forEachPresent(Vpn start_vpn, Vpn end_vpn, Fn &&fn)
+    {
+        const unsigned s3 = index(start_vpn, 3);
+        const unsigned e3 = index(end_vpn, 3);
+        for (unsigned i3 = s3; i3 <= e3; ++i3) {
+            auto &l3 = root_.children[i3];
+            if (!l3)
+                continue;
+            const bool lo3 = i3 == s3, hi3 = i3 == e3;
+            const unsigned s2 = lo3 ? index(start_vpn, 2) : 0;
+            const unsigned e2 = hi3 ? index(end_vpn, 2) : kFanout - 1;
+            for (unsigned i2 = s2; i2 <= e2; ++i2) {
+                auto &l2 = l3->children[i2];
+                if (!l2)
+                    continue;
+                const bool lo2 = lo3 && i2 == s2;
+                const bool hi2 = hi3 && i2 == e2;
+                const unsigned s1 = lo2 ? index(start_vpn, 1) : 0;
+                const unsigned e1 =
+                    hi2 ? index(end_vpn, 1) : kFanout - 1;
+                for (unsigned i1 = s1; i1 <= e1; ++i1) {
+                    auto &leaf = l2->children[i1];
+                    if (!leaf)
+                        continue;
+                    const bool lo1 = lo2 && i1 == s1;
+                    const bool hi1 = hi2 && i1 == e1;
+                    const unsigned s0 =
+                        lo1 ? index(start_vpn, 0) : 0;
+                    const unsigned e0 =
+                        hi1 ? index(end_vpn, 0) : kFanout - 1;
+                    const Vpn base =
+                        (static_cast<Vpn>(i3)
+                         << (kBitsPerLevel * 3)) |
+                        (static_cast<Vpn>(i2)
+                         << (kBitsPerLevel * 2)) |
+                        (static_cast<Vpn>(i1) << kBitsPerLevel);
+                    for (unsigned i0 = s0; i0 <= e0; ++i0) {
+                        Pte &pte = leaf->ptes[i0];
+                        if (pte.present())
+                            fn(base | i0, pte);
+                    }
+                }
+            }
+        }
+    }
 
     /** Number of present leaf translations. */
     std::uint64_t presentPages() const { return present_; }

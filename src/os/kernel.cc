@@ -13,8 +13,28 @@ Kernel::Kernel(EventQueue &queue, const NumaTopology &topo,
                const MachineConfig &config, FrameAllocator &frames,
                Scheduler &sched, StatRegistry &stats)
     : queue_(queue), topo_(topo), config_(config), frames_(frames),
-      sched_(sched), stats_(stats)
+      sched_(sched), stats_(stats),
+      minorFaultsCtr_(stats.counter("vm.minor_faults")),
+      numaFaultsCtr_(stats.counter("vm.numa_faults")),
+      segFaultsCtr_(stats.counter("vm.segfaults")),
+      cowBreaksCtr_(stats.counter("vm.cow_breaks"))
 {
+    touchHooks_.onMinorFault = [this](Vpn) -> Duration {
+        return policy_ ? policy_->minorFaultOverhead() : 0;
+    };
+    touchHooks_.onNumaHintFault = [this](Vpn vpn,
+                                         CoreId core) -> Duration {
+        if (numaFaultHook_)
+            return numaFaultHook_(vpn, core);
+        // Default NUMA-hint resolution: clear the hint, no migration.
+        Pte *pte = touchTask_->mm().pageTable().find(vpn);
+        if (pte)
+            pte->flags &= static_cast<std::uint8_t>(~kPteProtNone);
+        return 0;
+    };
+    touchHooks_.onCowWrite = [this](Vpn vpn, CoreId) {
+        return breakCow(touchTask_, vpn);
+    };
 }
 
 void
@@ -461,7 +481,7 @@ Kernel::breakCow(Task *task, Vpn vpn)
         sched_.tlbOf(core).invalidatePage(vpn, mm.pcid());
         spent += config_.cost.invlpg;
     }
-    stats_.counter("vm.cow_breaks").inc();
+    cowBreaksCtr_.inc();
     return spent;
 }
 
@@ -472,29 +492,15 @@ Kernel::touch(Task *task, Addr addr, bool is_write)
     const CoreId core = task->core();
     const NodeId node = topo_.nodeOf(core);
 
-    TouchHooks hooks;
-    if (policy_ && policy_->minorFaultOverhead() > 0) {
-        const Duration extra = policy_->minorFaultOverhead();
-        hooks.onMinorFault = [extra](Vpn) { return extra; };
-    }
-    if (numaFaultHook_) {
-        hooks.onNumaHintFault = numaFaultHook_;
-    } else {
-        // Default NUMA-hint resolution: clear the hint, no migration.
-        hooks.onNumaHintFault = [&mm](Vpn vpn, CoreId) -> Duration {
-            Pte *pte = mm.pageTable().find(vpn);
-            if (pte)
-                pte->flags &=
-                    static_cast<std::uint8_t>(~kPteProtNone);
-            return 0;
-        };
-    }
-    hooks.onCowWrite = [this, task](Vpn vpn, CoreId) {
-        return breakCow(task, vpn);
-    };
-
+    // The hooks live in touchHooks_ (built once); they read the
+    // touched task from touchTask_. Save/restore in case a hook's
+    // shootdown machinery re-enters touch() for another task.
+    Task *const prev_task = touchTask_;
+    touchTask_ = task;
     TouchResult r = touchPage(core, node, mm, sched_.tlbOf(core),
-                              config_.cost, addr, is_write, hooks);
+                              config_.cost, addr, is_write,
+                              touchHooks_);
+    touchTask_ = prev_task;
     // Fault paths run under mmap_sem held for read: fault traffic
     // delays munmap/mprotect writers and, symmetrically, a fault
     // arriving during a held write section (Linux's shootdown!)
@@ -513,19 +519,19 @@ Kernel::touch(Task *task, Addr addr, bool is_write)
     const bool tracing = trace_ && trace_->enabled();
     switch (r.kind) {
       case TouchKind::MinorFault:
-        stats_.counter("vm.minor_faults").inc();
+        minorFaultsCtr_.inc();
         if (tracing)
             trace_->instantNow("vm", "vm.minor_fault", core,
                                mm.id(), pageOf(addr));
         break;
       case TouchKind::NumaFault:
-        stats_.counter("vm.numa_faults").inc();
+        numaFaultsCtr_.inc();
         if (tracing)
             trace_->instantNow("vm", "vm.numa_fault", core,
                                mm.id(), pageOf(addr));
         break;
       case TouchKind::SegFault:
-        stats_.counter("vm.segfaults").inc();
+        segFaultsCtr_.inc();
         if (tracing)
             trace_->instantNow("vm", "vm.segfault", core,
                                mm.id(), pageOf(addr));

@@ -191,6 +191,23 @@ class Kernel
 
     std::function<Duration(Vpn, CoreId)> numaFaultHook_;
 
+    /**
+     * Hooks handed to touchPage(), built once in the constructor:
+     * touch() is the hottest kernel entry point and constructing
+     * three std::functions per call is measurable. The lambdas
+     * capture only `this`; the per-call task is stashed in
+     * touchTask_ and policy/NUMA-hook indirection resolves at call
+     * time, so the setters keep working.
+     */
+    TouchHooks touchHooks_;
+    Task *touchTask_ = nullptr;
+
+    /** Fault-path counters resolved once (touch() is per-access). */
+    Counter &minorFaultsCtr_;
+    Counter &numaFaultsCtr_;
+    Counter &segFaultsCtr_;
+    Counter &cowBreaksCtr_;
+
     std::vector<std::unique_ptr<Process>> processes_;
     std::vector<std::unique_ptr<Task>> tasks_;
     MmId nextMm_ = 1;

@@ -5,18 +5,53 @@
 namespace latr
 {
 
+namespace
+{
+/** Lambda wrappers kept for reuse; beyond this they are deleted. */
+constexpr std::size_t kLambdaPoolCap = 1024;
+} // namespace
+
 EventQueue::~EventQueue()
 {
     // Delete any queue-owned lambda events that never ran. Only
-    // live events may be dereferenced; stale heap entries may point
-    // at storage their owner already reclaimed.
-    for (auto &kv : live_) {
-        if (!kv.second.second)
-            continue; // not queue-owned: must not be dereferenced
-        Event *ev = kv.second.first;
-        ev->scheduled_ = false;
-        delete ev;
+    // live, owned slots may be dereferenced; stale heap entries and
+    // non-owned events may point at storage their owner already
+    // reclaimed.
+    for (const Slot &slot : slots_) {
+        if (!slot.event || !slot.owned)
+            continue;
+        slot.event->scheduled_ = false;
+        delete slot.event;
     }
+    for (LambdaEvent *ev : lambdaPool_)
+        delete ev;
+}
+
+std::uint32_t
+EventQueue::acquireSlot(Event *event)
+{
+    std::uint32_t idx;
+    if (!freeSlots_.empty()) {
+        idx = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        idx = static_cast<std::uint32_t>(slots_.size());
+        slots_.push_back(Slot{nullptr, 0, false});
+    }
+    Slot &slot = slots_[idx];
+    slot.event = event;
+    slot.owned = event->autoDelete_;
+    return idx;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t idx)
+{
+    Slot &slot = slots_[idx];
+    slot.event = nullptr;
+    slot.owned = false;
+    ++slot.gen; // ages every heap entry naming this slot
+    freeSlots_.push_back(idx);
 }
 
 void
@@ -31,8 +66,10 @@ EventQueue::schedule(Event *event, Tick when)
     event->scheduled_ = true;
     event->when_ = when;
     event->seq_ = nextSeq_++;
-    heap_.push(Entry{when, event->seq_, event});
-    live_.emplace(event->seq_, std::make_pair(event, event->autoDelete_));
+    event->slot_ = acquireSlot(event);
+    heap_.push(Entry{when, event->seq_, event->slot_,
+                     slots_[event->slot_].gen});
+    ++livePending_;
 }
 
 void
@@ -48,25 +85,46 @@ EventQueue::deschedule(Event *event)
 {
     if (!event->scheduled_)
         return;
-    // Lazy deletion: the heap entry stays; it is skipped when popped
-    // because its sequence number is no longer live.
+    // Lazy deletion: the heap entry stays; it is skipped when it
+    // surfaces because its generation no longer matches the slot's.
     event->scheduled_ = false;
-    live_.erase(event->seq_);
+    releaseSlot(event->slot_);
+    --livePending_;
 }
 
 void
 EventQueue::scheduleLambda(Tick when, std::function<void()> fn)
 {
-    auto *ev = new LambdaEvent(std::move(fn));
-    ev->autoDelete_ = true;
+    LambdaEvent *ev;
+    if (!lambdaPool_.empty()) {
+        ev = lambdaPool_.back();
+        lambdaPool_.pop_back();
+        ev->fn_ = std::move(fn);
+    } else {
+        ev = new LambdaEvent(std::move(fn));
+        ev->autoDelete_ = true;
+    }
     schedule(ev, when);
+}
+
+void
+EventQueue::recycleLambda(LambdaEvent *ev)
+{
+    // Drop the captured state now — it may hold resources whose
+    // owners expect release as soon as the callback has run.
+    ev->fn_ = nullptr;
+    if (lambdaPool_.size() < kLambdaPoolCap)
+        lambdaPool_.push_back(ev);
+    else
+        delete ev;
 }
 
 void
 EventQueue::popStale()
 {
     while (!heap_.empty()) {
-        if (live_.count(heap_.top().seq))
+        const Entry &top = heap_.top();
+        if (slots_[top.slot].gen == top.gen)
             return;
         heap_.pop();
     }
@@ -75,15 +133,19 @@ EventQueue::popStale()
 void
 EventQueue::dispatchTop()
 {
-    Entry top = heap_.top();
+    const Entry top = heap_.top();
     heap_.pop();
-    Event *ev = top.event;
+    Slot &slot = slots_[top.slot];
+    Event *ev = slot.event;
+    const bool owned = slot.owned;
     ev->scheduled_ = false;
-    live_.erase(top.seq);
+    releaseSlot(top.slot);
+    --livePending_;
     now_ = top.when;
+    ++executed_;
     ev->process();
-    if (ev->autoDelete_)
-        delete ev;
+    if (owned)
+        recycleLambda(static_cast<LambdaEvent *>(ev));
 }
 
 std::uint64_t

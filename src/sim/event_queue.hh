@@ -6,6 +6,12 @@
  * global EventQueue and executed in nondecreasing tick order. Events
  * scheduled for the same tick run in FIFO order of scheduling, which
  * keeps the simulation deterministic.
+ *
+ * The queue is allocation-free in steady state: liveness of heap
+ * entries is tracked by a generation counter in a queue-owned slot
+ * array (no hash map, and stale entries never dereference the event,
+ * whose owner may already have destroyed it), and the lambda wrappers
+ * scheduleLambda() hands out are recycled through a free-list pool.
  */
 
 #ifndef LATR_SIM_EVENT_QUEUE_HH_
@@ -14,7 +20,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,7 +34,7 @@ class EventQueue;
  * A schedulable unit of work. Subclass and implement process(), or use
  * scheduleLambda() for one-off callbacks. Events do not own
  * themselves; the creator controls lifetime, except for lambda events
- * which the queue deletes after they run.
+ * which the queue recycles after they run.
  */
 class Event
 {
@@ -55,13 +60,17 @@ class Event
     bool autoDelete_ = false;
     Tick when_ = 0;
     std::uint64_t seq_ = 0;
+    /** Index of the queue slot tracking this event while scheduled. */
+    std::uint32_t slot_ = 0;
 };
 
 /**
  * The global event queue: a priority queue ordered by (tick, sequence
  * number). Drives simulated time; now() only advances when events run.
  * deschedule() uses lazy deletion: stale heap entries are skipped when
- * they surface.
+ * they surface, detected by a (slot, generation) compare against the
+ * slot array — never by dereferencing the event pointer, since an
+ * owner may destroy a descheduled event at any time.
  */
 class EventQueue
 {
@@ -93,15 +102,19 @@ class EventQueue
 
     /**
      * Schedule a one-off callback at @p when. The queue owns the
-     * wrapper and deletes it after it runs (or at destruction).
+     * wrapper; after it runs (or at destruction) it is recycled into
+     * a pool for the next scheduleLambda().
      */
     void scheduleLambda(Tick when, std::function<void()> fn);
 
     /** Number of live (non-stale) events currently scheduled. */
-    std::size_t pending() const { return live_.size(); }
+    std::size_t pending() const { return livePending_; }
 
     /** True when no live events remain. */
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return livePending_ == 0; }
+
+    /** Total events dispatched over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
 
     /**
      * Run events until the queue empties or the next event lies
@@ -115,7 +128,7 @@ class EventQueue
     bool step();
 
   private:
-    /** A lambda-wrapping event owned (and deleted) by the queue. */
+    /** A lambda-wrapping event owned (and pooled) by the queue. */
     class LambdaEvent : public Event
     {
       public:
@@ -127,6 +140,8 @@ class EventQueue
         const char *name() const override { return "lambda"; }
 
       private:
+        friend class EventQueue;
+
         std::function<void()> fn_;
     };
 
@@ -134,7 +149,8 @@ class EventQueue
     {
         Tick when;
         std::uint64_t seq;
-        Event *event;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
     struct Later
@@ -148,6 +164,32 @@ class EventQueue
         }
     };
 
+    /**
+     * One tracking slot per scheduled event. The generation counter
+     * advances every time the slot is released (deschedule or
+     * dispatch), so heap entries carrying an older generation are
+     * recognized as stale without touching the event they name. The
+     * auto-delete flag is captured here at schedule time because the
+     * destructor may only dereference queue-owned events — an owner
+     * may destroy even a still-scheduled event right before the
+     * queue itself dies.
+     */
+    struct Slot
+    {
+        Event *event;
+        std::uint32_t gen;
+        bool owned;
+    };
+
+    /** Claim a slot for @p event (reusing the free list). */
+    std::uint32_t acquireSlot(Event *event);
+
+    /** Release @p slot, aging its generation. */
+    void releaseSlot(std::uint32_t slot);
+
+    /** Return a finished lambda wrapper to the pool. */
+    void recycleLambda(LambdaEvent *ev);
+
     /** Drop heap entries whose event was descheduled or rescheduled. */
     void popStale();
 
@@ -156,17 +198,11 @@ class EventQueue
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
-    /**
-     * Live scheduled events keyed by sequence number, with the
-     * auto-delete flag captured at schedule time. Stale heap entries
-     * (descheduled/rescheduled events) are detected by seq lookup
-     * here, never by dereferencing the event pointer — an owner may
-     * destroy a descheduled event at any time, and the destructor
-     * dereferences only queue-owned (auto-delete) events, since an
-     * owner may even destroy a still-scheduled event right before
-     * the queue itself dies.
-     */
-    std::unordered_map<std::uint64_t, std::pair<Event *, bool>> live_;
+    std::uint64_t executed_ = 0;
+    std::size_t livePending_ = 0;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::vector<LambdaEvent *> lambdaPool_;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 };
 

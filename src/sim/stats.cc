@@ -12,7 +12,10 @@ namespace latr
 Distribution::Distribution(std::size_t max_samples)
     : maxSamples_(max_samples), rngState_(0x5157af1dULL)
 {
-    reservoir_.reserve(std::min<std::size_t>(max_samples, 4096));
+    // Reserve the whole reservoir up front: sample() then never
+    // reallocates, so distributions are allocation-free in steady
+    // state (reset() clears but keeps the capacity).
+    reservoir_.reserve(max_samples);
 }
 
 void

@@ -37,7 +37,7 @@ AbisPolicy::minorFaultOverhead() const
 Duration
 AbisPolicy::onFreePages(FreeOpContext ctx, Tick start)
 {
-    env_.stats->counter("coh.shootdowns").inc();
+    shootdownsCtr_.inc();
 
     // Harvest access bits: union of each page's sharer set, clipped
     // to the cores where the mm is still resident.
@@ -96,8 +96,8 @@ AbisPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
     if (!pte)
         return 0;
 
-    env_.stats->counter("coh.shootdowns").inc();
-    env_.stats->counter("numa.samples").inc();
+    shootdownsCtr_.inc();
+    numaSamplesCtr_.inc();
 
     pte->flags |= kPteProtNone;
     Duration local = cost().pteClearPerPage + cost().invlpg +

@@ -89,7 +89,7 @@ BarrelfishPolicy::messageShootdown(AddressSpace *mm, CoreId initiator,
 Duration
 BarrelfishPolicy::onFreePages(FreeOpContext ctx, Tick start)
 {
-    env_.stats->counter("coh.shootdowns").inc();
+    shootdownsCtr_.inc();
 
     CpuMask targets = remoteTargets(ctx.mm, ctx.initiator);
     const std::uint64_t npages =
@@ -122,8 +122,8 @@ BarrelfishPolicy::onNumaSample(AddressSpace *mm, CoreId initiator,
     if (!pte)
         return 0;
 
-    env_.stats->counter("coh.shootdowns").inc();
-    env_.stats->counter("numa.samples").inc();
+    shootdownsCtr_.inc();
+    numaSamplesCtr_.inc();
 
     pte->flags |= kPteProtNone;
     Duration local = cost().pteClearPerPage + cost().invlpg;
@@ -139,7 +139,7 @@ BarrelfishPolicy::onSyncShootdown(AddressSpace *mm, CoreId initiator,
                                   Vpn start_vpn, Vpn end_vpn,
                                   std::uint64_t npages, Tick start)
 {
-    env_.stats->counter("coh.sync_ops").inc();
+    syncOpsCtr_.inc();
     CpuMask targets = remoteTargets(mm, initiator);
     return messageShootdown(mm, initiator, targets, start_vpn, end_vpn,
                             npages, start);

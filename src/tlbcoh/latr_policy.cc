@@ -58,7 +58,7 @@ LatrPolicy::lazyBytes() const
 Duration
 LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
 {
-    env_.stats->counter("coh.shootdowns").inc();
+    shootdownsCtr_.inc();
 
     // The paper's section 7 override: callers that need immediate
     // reuse semantics (use-after-free detectors) get the IPI path.
@@ -163,8 +163,8 @@ LatrPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
                                     1, start + local);
     }
 
-    env_.stats->counter("coh.shootdowns").inc();
-    env_.stats->counter("numa.samples").inc();
+    shootdownsCtr_.inc();
+    numaSamplesCtr_.inc();
     env_.stats->counter("latr.states_saved").inc();
     if (TraceRecorder *t = tracer()) {
         const SpanId span = t->beginSpan(

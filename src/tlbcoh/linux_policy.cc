@@ -26,7 +26,7 @@ LinuxPolicy::capabilities() const
 Duration
 LinuxPolicy::onFreePages(FreeOpContext ctx, Tick start)
 {
-    env_.stats->counter("coh.shootdowns").inc();
+    shootdownsCtr_.inc();
 
     const std::uint64_t npages =
         ctx.pages.size() + ctx.hugePages.size() * kHugePageSpan;
@@ -66,8 +66,8 @@ LinuxPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
     if (!pte)
         return 0; // raced with an unmap; nothing to sample
 
-    env_.stats->counter("coh.shootdowns").inc();
-    env_.stats->counter("numa.samples").inc();
+    shootdownsCtr_.inc();
+    numaSamplesCtr_.inc();
 
     // change_prot_numa: make the PTE prot-none, invalidate locally,
     // then shoot down everywhere — the cost the paper's figure 3a

@@ -10,12 +10,25 @@
 namespace latr
 {
 
-TlbCoherencePolicy::TlbCoherencePolicy(PolicyEnv env)
-    : env_(std::move(env))
+namespace
 {
-    if (!env_.queue || !env_.topo || !env_.config || !env_.frames ||
-        !env_.ipi || !env_.cores || !env_.stats)
+void
+checkEnv(const PolicyEnv &env)
+{
+    if (!env.queue || !env.topo || !env.config || !env.frames ||
+        !env.ipi || !env.cores || !env.stats)
         panic("PolicyEnv is missing a required service");
+}
+} // namespace
+
+TlbCoherencePolicy::TlbCoherencePolicy(PolicyEnv env)
+    : env_((checkEnv(env), std::move(env))),
+      ipiShootdownsCtr_(env_.stats->counter("coh.ipi_shootdowns")),
+      remoteInterruptsCtr_(env_.stats->counter("coh.remote_interrupts")),
+      syncOpsCtr_(env_.stats->counter("coh.sync_ops")),
+      shootdownsCtr_(env_.stats->counter("coh.shootdowns")),
+      numaSamplesCtr_(env_.stats->counter("numa.samples"))
+{
 }
 
 TraceRecorder *
@@ -81,7 +94,7 @@ TlbCoherencePolicy::ipiShootdown(AddressSpace *mm, CoreId initiator,
                                  Vpn end_vpn, std::uint64_t npages,
                                  Tick start)
 {
-    env_.stats->counter("coh.ipi_shootdowns").inc();
+    ipiShootdownsCtr_.inc();
 
     const Pcid pcid = mm->pcid();
     const bool full_flush = npages >= cost().fullFlushThreshold;
@@ -105,7 +118,7 @@ TlbCoherencePolicy::ipiShootdown(AddressSpace *mm, CoreId initiator,
         env_.cores->chargeStolen(
             target, cost().ipiHandlerFixed + handler_body);
         polluteLlc(target);
-        env_.stats->counter("coh.remote_interrupts").inc();
+        remoteInterruptsCtr_.inc();
     };
 
     IpiBroadcastResult r = env_.ipi->broadcast(
@@ -124,7 +137,7 @@ TlbCoherencePolicy::onSyncShootdown(AddressSpace *mm, CoreId initiator,
                                     Vpn start_vpn, Vpn end_vpn,
                                     std::uint64_t npages, Tick start)
 {
-    env_.stats->counter("coh.sync_ops").inc();
+    syncOpsCtr_.inc();
     CpuMask targets = remoteTargets(mm, initiator);
     const Duration wait = ipiShootdown(mm, initiator, targets,
                                        start_vpn, end_vpn, npages,

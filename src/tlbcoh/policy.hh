@@ -224,6 +224,17 @@ class TlbCoherencePolicy
 
     PolicyEnv env_;
 
+    /**
+     * Registry references resolved once at construction: the IPI
+     * path increments these per delivered interrupt, and a by-name
+     * registry lookup there is measurable in the figure benches.
+     */
+    Counter &ipiShootdownsCtr_;
+    Counter &remoteInterruptsCtr_;
+    Counter &syncOpsCtr_;
+    Counter &shootdownsCtr_;
+    Counter &numaSamplesCtr_;
+
   private:
     std::uint64_t pollutionCursor_ = 0;
 };

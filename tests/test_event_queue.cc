@@ -207,6 +207,96 @@ TEST(EventQueueDeath, DoubleSchedulePanics)
     EXPECT_DEATH(q.schedule(&a, 20), "twice");
 }
 
+TEST(EventQueue, RescheduleToSameTickMovesToFifoBack)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(&log, 1), b(&log, 2), c(&log, 3);
+    q.schedule(&a, 5);
+    q.schedule(&b, 5);
+    q.schedule(&c, 5);
+    // Rescheduling to the *same* tick re-enters the FIFO at the back.
+    q.reschedule(&a, 5);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(EventQueue, DescheduleThenDestroyIsSafe)
+{
+    EventQueue q;
+    std::vector<int> log;
+    auto *a = new RecordingEvent(&log, 1);
+    RecordingEvent b(&log, 2);
+    q.schedule(a, 10);
+    q.schedule(&b, 20);
+    q.deschedule(a);
+    delete a; // the queue must never dereference the stale entry
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, DestroyScheduledNonOwnedEventBeforeQueueDies)
+{
+    // An owner may destroy a still-scheduled event right before the
+    // queue itself dies; the destructor dereferences only queue-owned
+    // (lambda) events.
+    std::vector<int> log;
+    auto *a = new RecordingEvent(&log, 1);
+    {
+        EventQueue q;
+        q.schedule(a, 10);
+        q.scheduleLambda(20, []() {});
+        delete a;
+    }
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, RunLimitIsInclusiveOfEventsAtTheLimit)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(&log, 1), b(&log, 2);
+    q.schedule(&a, 50);
+    q.schedule(&b, 51);
+    EXPECT_EQ(q.run(50), 1u);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, ManySequentialLambdasRunInOrder)
+{
+    // Exercises LambdaEvent reuse: dispatch-then-schedule cycles must
+    // preserve FIFO order and leave the queue empty.
+    EventQueue q;
+    std::vector<int> log;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 64; ++i) {
+            const int id = round * 64 + i;
+            q.scheduleLambda(q.now() + 1 + i,
+                             [&log, id]() { log.push_back(id); });
+        }
+        q.run();
+        EXPECT_TRUE(q.empty());
+    }
+    ASSERT_EQ(log.size(), 256u);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(log[i], i);
+}
+
+TEST(EventQueue, LambdaScheduledFromLambdaRuns)
+{
+    EventQueue q;
+    std::vector<int> log;
+    q.scheduleLambda(10, [&]() {
+        log.push_back(1);
+        q.scheduleLambda(q.now() + 5, [&]() { log.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 15u);
+}
+
 TEST(EventQueue, PendingCountsLiveEventsOnly)
 {
     EventQueue q;

@@ -178,6 +178,46 @@ TEST(Distribution, ResetClears)
     EXPECT_DOUBLE_EQ(d.max(), 0.0);
 }
 
+TEST(Counter, ResetAndReuse)
+{
+    Counter c;
+    c.inc(7);
+    c.inc();
+    EXPECT_EQ(c.value(), 8u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.inc(2);
+    EXPECT_EQ(c.value(), 2u);
+}
+
+TEST(Distribution, ResetCoversReservoirFullPath)
+{
+    // Drive the reservoir to capacity so reset() exercises the
+    // replacement path's state (seen_, reservoir occupancy), then
+    // verify the distribution behaves like a fresh one.
+    Distribution d(8);
+    for (int i = 0; i < 1000; ++i)
+        d.sample(i);
+    EXPECT_EQ(d.count(), 1000u);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    // Short refill: percentiles are exact again (reservoir restarts
+    // from empty, not from leftover replacement state).
+    for (int i = 1; i <= 5; ++i)
+        d.sample(10.0 * i);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_DOUBLE_EQ(d.min(), 10.0);
+    EXPECT_DOUBLE_EQ(d.max(), 50.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 30.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 30.0);
+    // And it can fill past capacity a second time.
+    for (int i = 0; i < 1000; ++i)
+        d.sample(500.0);
+    EXPECT_EQ(d.count(), 1005u);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 500.0);
+}
+
 TEST(Stats, RatePerSecond)
 {
     EXPECT_DOUBLE_EQ(ratePerSecond(1000, kSec), 1000.0);

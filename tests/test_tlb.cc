@@ -241,6 +241,128 @@ TEST(Tlb, FlushNotifiesEveryEntry)
     EXPECT_TRUE(listener.live.empty());
 }
 
+// --- LRU golden tests: written against the list+map level and
+// --- required to pass verbatim on the slot-array level.
+
+TEST(TlbGolden, EvictionCascadeL1ToL2ToGone)
+{
+    Tlb tlb(0, 2, 2);
+    MirrorListener listener;
+    tlb.setListener(&listener);
+    // 1,2 fill L1; 3,4 spill 1,2 into L2; 5 spills 3, whose arrival
+    // evicts the L2 LRU (vpn 1) out of the TLB entirely.
+    for (Vpn v = 1; v <= 5; ++v)
+        tlb.insert(v, 100 + v, 0);
+    EXPECT_FALSE(tlb.probe(1, 0));
+    EXPECT_TRUE(tlb.probe(2, 0));
+    EXPECT_TRUE(tlb.probe(3, 0));
+    EXPECT_TRUE(tlb.probe(4, 0));
+    EXPECT_TRUE(tlb.probe(5, 0));
+    EXPECT_EQ(listener.removes, 1);
+    EXPECT_EQ(tlb.size(), 4u);
+    // Exact level placement: 5,4 in L1; 3,2 in L2.
+    EXPECT_EQ(tlb.lookup(4, 0), TlbResult::HitL1);
+    EXPECT_EQ(tlb.lookup(5, 0), TlbResult::HitL1);
+    EXPECT_EQ(tlb.lookup(2, 0), TlbResult::HitL2);
+    EXPECT_EQ(tlb.lookup(3, 0), TlbResult::HitL2);
+}
+
+TEST(TlbGolden, L2HitPromotionDemotesL1Lru)
+{
+    Tlb tlb(0, 2, 2);
+    tlb.insert(1, 101, 0);
+    tlb.insert(2, 102, 0);
+    tlb.insert(3, 103, 0); // L1 {3,2}, L2 {1}
+    Pfn pfn = 0;
+    EXPECT_EQ(tlb.lookup(1, 0, &pfn), TlbResult::HitL2);
+    EXPECT_EQ(pfn, 101u);
+    // Promotion put 1 into L1 and demoted the L1 LRU (vpn 2) to L2.
+    EXPECT_EQ(tlb.lookup(3, 0), TlbResult::HitL1);
+    EXPECT_EQ(tlb.lookup(2, 0), TlbResult::HitL2);
+}
+
+TEST(TlbGolden, InvalidateRangeBoundaryVpns)
+{
+    Tlb tlb(0, 8, 8);
+    for (Vpn v = 99; v <= 104; ++v)
+        tlb.insert(v, v, 0);
+    // Narrow range (below occupancy): exercises the probe path of an
+    // adaptive implementation.
+    tlb.invalidateRange(100, 103, 0);
+    EXPECT_TRUE(tlb.probe(99, 0));
+    EXPECT_FALSE(tlb.probe(100, 0));
+    EXPECT_FALSE(tlb.probe(103, 0));
+    EXPECT_TRUE(tlb.probe(104, 0));
+    // Wide range (beyond occupancy): exercises the scan path.
+    tlb.invalidateRange(0, 1'000'000, 0);
+    EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(TlbGolden, InvalidateRangeHitsOverlappingHugeEntries)
+{
+    Tlb tlb(0, 4, 4, 4);
+    tlb.insertHuge(0, 1000, 0);    // covers vpn 0..511
+    tlb.insertHuge(512, 2000, 0);  // covers vpn 512..1023
+    tlb.insertHuge(1024, 3000, 0); // covers vpn 1024..1535
+    // A range touching only the tail page of the first region drops
+    // that region but not its neighbor.
+    tlb.invalidateRange(511, 511, 0);
+    EXPECT_FALSE(tlb.probeHuge(0, 0));
+    EXPECT_TRUE(tlb.probeHuge(512, 0));
+    // A range starting exactly at a region's base drops it.
+    tlb.invalidateRange(1024, 1024, 0);
+    EXPECT_FALSE(tlb.probeHuge(1024, 0));
+    EXPECT_TRUE(tlb.probeHuge(512, 0));
+}
+
+TEST(TlbGolden, InvalidatePcidWithInterleavedPcids)
+{
+    Tlb tlb(0, 4, 4);
+    tlb.insert(10, 1, 1);
+    tlb.insert(10, 2, 2);
+    tlb.insert(11, 3, 1);
+    tlb.insert(11, 4, 2);
+    tlb.invalidatePcid(1);
+    EXPECT_FALSE(tlb.probe(10, 1));
+    EXPECT_FALSE(tlb.probe(11, 1));
+    EXPECT_TRUE(tlb.probe(10, 2));
+    EXPECT_TRUE(tlb.probe(11, 2));
+    // Survivors keep their LRU order: (10,2) is the older of the two
+    // and is the first demoted once the level refills.
+    tlb.insert(20, 5, 2);
+    tlb.insert(21, 6, 2);
+    tlb.insert(22, 7, 2);
+    EXPECT_EQ(tlb.lookup(10, 2), TlbResult::HitL2);
+    EXPECT_EQ(tlb.lookup(11, 2), TlbResult::HitL2);
+}
+
+TEST(TlbGolden, HugeArrayIndependentOfBaseLevels)
+{
+    Tlb tlb(0, 2, 2, 2);
+    tlb.insertHuge(0, 1000, 0);
+    tlb.insertHuge(512, 2000, 0);
+    // Churning the 4 KiB arrays never evicts huge entries.
+    for (Vpn v = 5000; v < 5010; ++v)
+        tlb.insert(v, v, 0);
+    EXPECT_TRUE(tlb.probeHuge(0, 0));
+    EXPECT_TRUE(tlb.probeHuge(700, 0));
+    EXPECT_EQ(tlb.hugeSize(), 2u);
+    // A lookup through a huge entry offsets into the region.
+    Pfn pfn = 0;
+    bool huge = false;
+    EXPECT_EQ(tlb.lookup(513, 0, &pfn, nullptr, &huge),
+              TlbResult::HitL1);
+    EXPECT_TRUE(huge);
+    EXPECT_EQ(pfn, 2001u);
+    // A third huge entry evicts only the huge LRU (base 0: the
+    // lookup above touched 512).
+    tlb.insertHuge(1024, 3000, 0);
+    EXPECT_FALSE(tlb.probeHuge(0, 0));
+    EXPECT_TRUE(tlb.probeHuge(512, 0));
+    EXPECT_TRUE(tlb.probeHuge(1024, 0));
+    EXPECT_EQ(tlb.hugeSize(), 2u);
+}
+
 class TlbFillSweep : public ::testing::TestWithParam<unsigned>
 {
 };
