@@ -28,11 +28,14 @@ namespace
 struct Options
 {
     unsigned fuzz = 0;
+    unsigned digest = 0;
     std::string replayPath;
     std::string policy; // empty = all four
     std::uint64_t seed = 1;
     unsigned ops = 400;
     int pcid = -1; // -1 = alternate (fuzz) / script header (replay)
+    std::string machine = "small";
+    bool noFastpath = false;
     std::string outDir = ".";
     std::string tracePath;
     std::string inject;
@@ -53,6 +56,14 @@ usage(const char *argv0)
         "  --seed=N          first fuzz seed (default 1)\n"
         "  --ops=N           ops per generated script (default 400)\n"
         "  --pcid=0|1        force PCIDs off/on (default: alternate)\n"
+        "  --machine=small|large  topology for generated scripts:\n"
+        "                    the 2x4 default or 8x15 (120 cores)\n"
+        "  --no-fastpath     force the naive engine paths (tick\n"
+        "                    wheel / sweep elision off)\n"
+        "  --digest=N        print a stable per-(seed,policy) state\n"
+        "                    digest for N generated scripts; diff the\n"
+        "                    output across builds to prove a change\n"
+        "                    is simulation-transparent\n"
         "  --out=DIR         where failure dumps go (default .)\n"
         "  --trace=FILE      Chrome-trace JSON of a --replay run\n"
         "  --inject=skip-latr-sweep  fault injection (harness\n"
@@ -82,8 +93,21 @@ parseArg(Options &opts, const char *arg, const char *next,
         opts.keepGoing = true;
         return true;
     }
+    if (std::strcmp(arg, "--no-fastpath") == 0) {
+        opts.noFastpath = true;
+        return true;
+    }
     if (const char *v = value("--fuzz")) {
         opts.fuzz = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        return true;
+    }
+    if (const char *v = value("--digest")) {
+        opts.digest =
+            static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        return true;
+    }
+    if (const char *v = value("--machine")) {
+        opts.machine = v;
         return true;
     }
     if (const char *v = value("--replay")) {
@@ -189,6 +213,59 @@ replay(const Options &opts, const ExecOptions &exec)
     return 1;
 }
 
+/**
+ * Print one stable line per (seed, policy): a digest of the final
+ * architectural state plus the oracle verdicts. Byte-comparing this
+ * output between two builds (or between --no-fastpath and the
+ * default) proves an engine change simulation-transparent.
+ */
+int
+digest(const Options &opts, const ExecOptions &exec)
+{
+    for (unsigned i = 0; i < opts.digest; ++i) {
+        const std::uint64_t seed = opts.seed + i;
+        GenOptions gen;
+        gen.numOps = opts.ops;
+        gen.large = opts.machine == "large";
+        gen.pcid = opts.pcid >= 0 ? opts.pcid == 1 : (seed & 1) != 0;
+        const Script script = generateScript(seed, gen);
+        for (PolicyKind kind : allPolicyKinds()) {
+            const RunResult run = runScript(script, kind, exec);
+            // FNV-1a over every digested field, regions in slot
+            // order: one stable 64-bit fingerprint per run.
+            std::uint64_t h = 1469598103934665603ULL;
+            auto mix = [&h](std::uint64_t v) {
+                for (unsigned b = 0; b < 8; ++b) {
+                    h ^= (v >> (b * 8)) & 0xff;
+                    h *= 1099511628211ULL;
+                }
+            };
+            for (const auto &region : run.regionSig) {
+                mix(region.first);
+                for (char c : region.second) {
+                    h ^= static_cast<unsigned char>(c);
+                    h *= 1099511628211ULL;
+                }
+            }
+            for (std::uint64_t present : run.mmPresentPages)
+                mix(present);
+            mix(run.allocatedFrames);
+            mix(run.heldBackBytes);
+            std::printf("seed=%llu policy=%s pcid=%d machine=%s "
+                        "state=%016llx staleness=%llu invariant=%llu\n",
+                        static_cast<unsigned long long>(seed),
+                        policyKindName(kind), gen.pcid ? 1 : 0,
+                        opts.machine.c_str(),
+                        static_cast<unsigned long long>(h),
+                        static_cast<unsigned long long>(
+                            run.stalenessViolations),
+                        static_cast<unsigned long long>(
+                            run.invariantViolations));
+        }
+    }
+    return 0;
+}
+
 int
 fuzz(const Options &opts, const ExecOptions &exec)
 {
@@ -196,6 +273,7 @@ fuzz(const Options &opts, const ExecOptions &exec)
     fo.iterations = opts.fuzz;
     fo.baseSeed = opts.seed;
     fo.gen.numOps = opts.ops;
+    fo.gen.large = opts.machine == "large";
     fo.outDir = opts.outDir;
     fo.stopOnFailure = !opts.keepGoing;
     fo.exec = exec;
@@ -257,12 +335,20 @@ main(int argc, char **argv)
         if (consumed_next)
             ++i;
     }
-    if ((opts.fuzz == 0) == opts.replayPath.empty()) {
+    const int modes = (opts.fuzz > 0) + (opts.digest > 0) +
+                      !opts.replayPath.empty();
+    if (modes != 1) {
         usage(argv[0]);
+        return 2;
+    }
+    if (opts.machine != "small" && opts.machine != "large") {
+        std::fprintf(stderr, "unknown machine '%s'\n",
+                     opts.machine.c_str());
         return 2;
     }
 
     ExecOptions exec;
+    exec.noFastpath = opts.noFastpath;
     if (!opts.inject.empty()) {
         if (opts.inject != "skip-latr-sweep") {
             std::fprintf(stderr, "unknown injection '%s'\n",
@@ -274,6 +360,8 @@ main(int argc, char **argv)
                     "staleness oracle should report violations\n");
     }
 
+    if (opts.digest > 0)
+        return digest(opts, exec);
     return opts.replayPath.empty() ? fuzz(opts, exec)
                                    : replay(opts, exec);
 }

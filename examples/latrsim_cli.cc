@@ -39,6 +39,7 @@ struct Options
     unsigned workers = 12;
     unsigned cores = 16;
     std::uint64_t pages = 1;
+    bool noFastpath = false;
     bool dumpStats = false;
     std::string tracePath;     // chrome://tracing / Perfetto JSON
     std::string traceTextPath; // human-readable timeline
@@ -58,6 +59,7 @@ usage(const char *argv0)
         "  --workers=N   (apache/nginx serving cores)\n"
         "  --cores=N     (microbench/parsec/numa cores)\n"
         "  --pages=N     (microbench pages per munmap)\n"
+        "  --no-fastpath (naive engine paths; results must match)\n"
         "  --stats       (dump the full stat registry)\n"
         "  --trace=FILE      (write Chrome-trace JSON; load in\n"
         "                     chrome://tracing or ui.perfetto.dev)\n"
@@ -96,6 +98,8 @@ parseArg(Options &opts, const char *arg)
         opts.traceTextPath = v;
     } else if (const char *v = value("--trace-capacity")) {
         opts.traceCapacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(arg, "--no-fastpath") == 0) {
+        opts.noFastpath = true;
     } else if (std::strcmp(arg, "--stats") == 0) {
         opts.dumpStats = true;
     } else {
@@ -141,7 +145,9 @@ main(int argc, char **argv)
         }
     }
 
-    Machine machine(machineOf(opts.machine), policyOf(opts.policy));
+    MachineConfig config = machineOf(opts.machine);
+    config.noFastpath = opts.noFastpath;
+    Machine machine(config, policyOf(opts.policy));
     if (!opts.tracePath.empty() || !opts.traceTextPath.empty()) {
         if (opts.traceCapacity != 0)
             machine.trace().setCapacity(opts.traceCapacity);

@@ -31,14 +31,25 @@ struct SlotView
 MachineConfig
 executorConfig(const Script &script, const ExecOptions &opt)
 {
-    MachineConfig cfg = MachineConfig::commodity2S16C();
+    // Small scripts run a shrunken commodity box (2x4); `machine
+    // large` scripts run the full 8-socket/120-core topology so the
+    // differential harness exercises CpuMask word crossings, wide
+    // IPI fan-outs, and the tick wheel at density. Memory and LLC
+    // are scaled down in both cases — the scripts' footprints are
+    // tiny and smaller caches reach interesting states sooner.
+    MachineConfig cfg = script.large
+                            ? MachineConfig::largeNuma8S120C()
+                            : MachineConfig::commodity2S16C();
     cfg.name = "check";
-    cfg.sockets = 2;
-    cfg.coresPerSocket = 4;
-    cfg.framesPerNode = 64 * 1024; // 256 MiB per node
+    if (!script.large) {
+        cfg.sockets = 2;
+        cfg.coresPerSocket = 4;
+    }
+    cfg.framesPerNode = script.large ? 32 * 1024 : 64 * 1024;
     cfg.llcBytesPerSocket = 1 * 1024 * 1024;
     cfg.pcidEnabled = script.pcid;
     cfg.injectSkipLatrSweep = opt.injectSkipLatrSweep;
+    cfg.noFastpath = opt.noFastpath;
     return cfg;
 }
 

@@ -34,6 +34,8 @@ struct ExecOptions
     bool strict = false;
     /** Fault injection: break LATR's sweep (oracle must notice). */
     bool injectSkipLatrSweep = false;
+    /** Force the naive engine paths (MachineConfig::noFastpath). */
+    bool noFastpath = false;
 };
 
 /** Outcome of one script run under one policy. */

@@ -59,12 +59,13 @@ generateScript(std::uint64_t seed, const GenOptions &opt)
     s.seed = seed;
     s.pcid = opt.pcid;
     s.procs = opt.procs > 0 ? opt.procs : 1;
+    s.large = opt.large;
 
     std::vector<SlotState> slots(opt.maxSlots);
-    // One task per core in the executor's 2x4 machine; task i runs
+    // One task per core in the executor's machine; task i runs
     // process i % procs, so a slot owned by proc p may be driven by
     // any task with index ≡ p (mod procs).
-    const unsigned kCores = 8;
+    const unsigned kCores = opt.large ? 120 : 8;
     auto task_of = [&](unsigned proc) -> std::uint32_t {
         const unsigned candidates = kCores / s.procs +
                                     (proc < kCores % s.procs ? 1 : 0);
@@ -160,6 +161,8 @@ serializeScript(const Script &script)
     out << "seed " << script.seed << "\n";
     out << "pcid " << (script.pcid ? 1 : 0) << "\n";
     out << "procs " << script.procs << "\n";
+    if (script.large)
+        out << "machine large\n";
     for (const Op &op : script.ops) {
         out << opName(op.kind);
         switch (op.kind) {
@@ -254,6 +257,14 @@ parseScript(const std::string &text, Script *out, std::string *err)
         if (word == "procs") {
             if (!(toks >> out->procs) || out->procs == 0)
                 return fail("procs needs a positive value");
+            continue;
+        }
+        if (word == "machine") {
+            std::string which;
+            if (!(toks >> which) ||
+                (which != "large" && which != "small"))
+                return fail("machine needs 'small' or 'large'");
+            out->large = which == "large";
             continue;
         }
 

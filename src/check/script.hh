@@ -55,6 +55,13 @@ struct Script
     std::uint64_t seed = 0;  ///< generator seed (provenance only)
     bool pcid = false;       ///< run with PCIDs enabled
     unsigned procs = 2;      ///< processes (tasks = one per core)
+    /**
+     * Run on the 8-socket/120-core large-NUMA machine instead of
+     * the default 2x4 small config (`machine large` header line).
+     * Boundary behaviour — CpuMask word crossings at core 64, wide
+     * IPI fan-outs, tick-wheel slot density — only exists there.
+     */
+    bool large = false;
     std::vector<Op> ops;
 };
 
@@ -64,6 +71,8 @@ struct GenOptions
     unsigned numOps = 400;
     bool pcid = false;
     unsigned procs = 2;
+    /** Generate for the 120-core large-NUMA machine. */
+    bool large = false;
     /** Region slots per run (shared namespace across processes). */
     unsigned maxSlots = 12;
     /** Largest small-page region, in pages. */

@@ -144,13 +144,20 @@ class CpuMask
         return m;
     }
 
-    /** Mask with cores [0, n) set. */
+    /** Mask with cores [0, n) set, built a word at a time. */
     static CpuMask
     firstN(unsigned n)
     {
         CpuMask m;
-        for (unsigned i = 0; i < n; ++i)
-            m.set(i);
+        if (n >= kMaxCores) {
+            m.bits_[0] = ~0ULL;
+            m.bits_[1] = ~0ULL;
+            return m;
+        }
+        for (unsigned w = 0; w < n / 64; ++w)
+            m.bits_[w] = ~0ULL;
+        if (n % 64)
+            m.bits_[n / 64] = (1ULL << (n % 64)) - 1;
         return m;
     }
 
@@ -229,6 +236,23 @@ class CpuMask
                 v &= v - 1;
             }
         }
+    }
+
+    /**
+     * Invoke @p fn once per nonzero 64-bit word, lowest word first.
+     * @param fn callable taking (unsigned word_index,
+     *     std::uint64_t word); core w*64+b is in the mask iff bit b
+     *     of word w is set. Wide fan-outs (IPI delivery, sharer
+     *     harvesting) use this to pay the callback once per word
+     *     instead of once per core.
+     */
+    template <typename Fn>
+    void
+    forEachWord(Fn &&fn) const
+    {
+        for (unsigned w = 0; w < 2; ++w)
+            if (bits_[w])
+                fn(w, bits_[w]);
     }
 
   private:

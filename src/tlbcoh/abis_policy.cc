@@ -7,7 +7,9 @@ namespace latr
 {
 
 AbisPolicy::AbisPolicy(PolicyEnv env)
-    : TlbCoherencePolicy(std::move(env))
+    : TlbCoherencePolicy(std::move(env)),
+      shootdownsAvoidedCtr_(
+          env_.stats->counter("abis.shootdowns_avoided"))
 {
 }
 
@@ -67,7 +69,7 @@ AbisPolicy::onFreePages(FreeOpContext ctx, Tick start)
                             ctx.startVpn, ctx.endVpn, npages,
                             start + scan);
     } else {
-        env_.stats->counter("abis.shootdowns_avoided").inc();
+        shootdownsAvoidedCtr_.inc();
         if (TraceRecorder *t = tracer())
             t->instant("abis", "abis.shootdown_avoided", start + scan,
                        ctx.initiator, ctx.mm->id(), npages);
@@ -112,7 +114,7 @@ AbisPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
         wait = ipiShootdown(mm, initiator, sharers, vpn, vpn, 1,
                             start + local);
     } else {
-        env_.stats->counter("abis.shootdowns_avoided").inc();
+        shootdownsAvoidedCtr_.inc();
     }
     return local + wait;
 }

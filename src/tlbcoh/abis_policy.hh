@@ -35,6 +35,9 @@ class AbisPolicy : public TlbCoherencePolicy
                           Tick start) override;
 
     Duration minorFaultOverhead() const override;
+
+  private:
+    Counter &shootdownsAvoidedCtr_;
 };
 
 } // namespace latr

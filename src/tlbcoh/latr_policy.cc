@@ -9,11 +9,20 @@ namespace latr
 {
 
 LatrPolicy::LatrPolicy(PolicyEnv env)
-    : TlbCoherencePolicy(std::move(env))
+    : TlbCoherencePolicy(std::move(env)),
+      fastpath_(!env_.config->noFastpath),
+      sweepsCtr_(env_.stats->counter("latr.sweeps")),
+      sweepMatchesCtr_(env_.stats->counter("latr.sweep_matches")),
+      statesSavedCtr_(env_.stats->counter("latr.states_saved")),
+      fallbackIpisCtr_(env_.stats->counter("latr.fallback_ipis")),
+      migrationUnmapsCtr_(
+          env_.stats->counter("latr.migration_unmaps_completed")),
+      reclaimedPagesCtr_(env_.stats->counter("latr.reclaimed_pages"))
 {
     rings_.resize(env_.cores->coreCount());
     for (auto &ring : rings_)
         ring.resize(env_.config->latrStatesPerCore);
+    allocCursor_.assign(rings_.size(), 0);
 }
 
 PolicyCapabilities
@@ -32,9 +41,15 @@ LatrPolicy::capabilities() const
 LatrState *
 LatrPolicy::allocSlot(CoreId core)
 {
-    for (auto &state : rings_[core])
-        if (state.phase == LatrStatePhase::Empty)
-            return &state;
+    std::vector<LatrState> &ring = rings_[core];
+    unsigned &cursor = allocCursor_[core];
+    for (std::size_t n = 0; n < ring.size(); ++n) {
+        const std::size_t at = (cursor + n) % ring.size();
+        if (ring[at].phase == LatrStatePhase::Empty) {
+            cursor = static_cast<unsigned>((at + 1) % ring.size());
+            return &ring[at];
+        }
+    }
     return nullptr;
 }
 
@@ -69,7 +84,7 @@ LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
         // Ring full (or sync requested): fall back to IPIs
         // (section 8), behaving exactly like the Linux baseline.
         if (!ctx.syncRequested) {
-            env_.stats->counter("latr.fallback_ipis").inc();
+            fallbackIpisCtr_.inc();
             if (TraceRecorder *t = tracer())
                 t->instant("latr", "latr.ring_full_fallback", start,
                            ctx.initiator, ctx.mm->id());
@@ -119,7 +134,7 @@ LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
     if (slot->vaEnd > slot->vaStart)
         ctx.mm->holdbackRange(slot->vaStart, slot->vaEnd);
 
-    env_.stats->counter("latr.states_saved").inc();
+    statesSavedCtr_.inc();
     if (TraceRecorder *t = tracer()) {
         const SpanId span = t->beginSpan(
             "latr", "latr.state_save", start, ctx.initiator,
@@ -134,6 +149,7 @@ LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
         deactivate(slot, start);
     } else {
         active_.push_back(slot);
+        pendingSweepers_.orWith(slot->cpuMask);
     }
     scheduleReclaimPass(slot->savedAt + cost().latrReclaimDelay + 1);
     if (TraceRecorder *t = tracer())
@@ -154,7 +170,7 @@ LatrPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
     LatrState *slot = allocSlot(initiator);
     if (!slot) {
         // Ring full: sample the Linux way.
-        env_.stats->counter("latr.fallback_ipis").inc();
+        fallbackIpisCtr_.inc();
         pte->flags |= kPteProtNone;
         Duration local = cost().pteClearPerPage + cost().invlpg;
         env_.cores->tlbOf(initiator).invalidatePage(vpn, mm->pcid());
@@ -165,7 +181,7 @@ LatrPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
 
     shootdownsCtr_.inc();
     numaSamplesCtr_.inc();
-    env_.stats->counter("latr.states_saved").inc();
+    statesSavedCtr_.inc();
     if (TraceRecorder *t = tracer()) {
         const SpanId span = t->beginSpan(
             "latr", "latr.migration_state_save", start, initiator,
@@ -196,6 +212,7 @@ LatrPolicy::onNumaSample(AddressSpace *mm, CoreId initiator, Vpn vpn,
         slot->phase = LatrStatePhase::Empty;
     } else {
         active_.push_back(slot);
+        pendingSweepers_.orWith(slot->cpuMask);
         // The migrating fault on this page is gated (via
         // numaSampleReadyAt) until every core swept; each masked
         // core sweeps at latest at its next tick, so
@@ -225,9 +242,38 @@ LatrPolicy::numaSampleReadyAt(AddressSpace *mm, Vpn vpn) const
 }
 
 void
+LatrPolicy::touchSweepLlc(CoreId core, unsigned matches)
+{
+    // The sweep reads every core's state block through the cache
+    // hierarchy; the footprint is tiny and hot (table 4's point).
+    // With the section 7 scratchpad, the states bypass the LLC
+    // entirely. Even a matchless sweep touches the first line — the
+    // ring heads must be read to discover there is nothing to do.
+    const NodeId node = env_.topo->nodeOf(core);
+    if (!env_.config->latrScratchpad && node < env_.llcs.size() &&
+        env_.llcs[node]) {
+        const std::uint64_t base = 0xE000'0000'0000ULL;
+        for (unsigned i = 0; i <= matches; ++i)
+            env_.llcs[node]->access(base + i,
+                                    CacheAccessOrigin::LatrSweep);
+    }
+}
+
+void
 LatrPolicy::sweep(CoreId core, Tick now)
 {
-    env_.stats->counter("latr.sweeps").inc();
+    sweepsCtr_.inc();
+
+    if (fastpath_ && !pendingSweepers_.test(core)) {
+        // Elided sweep: no active state addresses this core, so the
+        // scan would match nothing. Charge and model exactly what
+        // the naive matchless scan does — latrSweepFixed of stolen
+        // time and one LLC line — and skip only the host-side walk
+        // of active_.
+        env_.cores->chargeStolen(core, cost().latrSweepFixed);
+        touchSweepLlc(core, 0);
+        return;
+    }
 
     Duration spent = cost().latrSweepFixed;
     unsigned matches = 0;
@@ -278,7 +324,7 @@ LatrPolicy::sweep(CoreId core, Tick now)
                   active_.end());
 
     spent += matches * cost().latrSweepPerMatch;
-    env_.stats->counter("latr.sweep_matches").inc(matches);
+    sweepMatchesCtr_.inc(matches);
     env_.cores->chargeStolen(core, spent);
     if (TraceRecorder *t = tracer()) {
         // The per-tick state sweep (figure 2b's remote half). Idle
@@ -291,18 +337,12 @@ LatrPolicy::sweep(CoreId core, Tick now)
         }
     }
 
-    // The sweep reads every core's state block through the cache
-    // hierarchy; the footprint is tiny and hot (table 4's point).
-    // With the section 7 scratchpad, the states bypass the LLC
-    // entirely.
-    const NodeId node = env_.topo->nodeOf(core);
-    if (!env_.config->latrScratchpad && node < env_.llcs.size() &&
-        env_.llcs[node]) {
-        const std::uint64_t base = 0xE000'0000'0000ULL;
-        for (unsigned i = 0; i <= matches; ++i)
-            env_.llcs[node]->access(base + i,
-                                    CacheAccessOrigin::LatrSweep);
-    }
+    touchSweepLlc(core, matches);
+
+    // This full scan visited every active state and cleared this
+    // core's bit from each match, so nothing addresses the core
+    // anymore: drop it from the summary mask until the next publish.
+    pendingSweepers_.clear(core);
 }
 
 void
@@ -313,7 +353,7 @@ LatrPolicy::deactivate(LatrState *state, Tick now)
         // already covers this tick. The slot is immediately
         // reusable.
         state->phase = LatrStatePhase::Empty;
-        env_.stats->counter("latr.migration_unmaps_completed").inc();
+        migrationUnmapsCtr_.inc();
         return;
     }
     state->phase = LatrStatePhase::PendingReclaim;
@@ -355,9 +395,8 @@ LatrPolicy::reclaimState(LatrState *state)
         state->mm->frames().putHuge(page.second);
         spent += cost().latrReclaimPerPage;
     }
-    env_.stats->counter("latr.reclaimed_pages")
-        .inc(state->pages.size() +
-             state->hugePages.size() * kHugePageSpan);
+    reclaimedPagesCtr_.inc(state->pages.size() +
+                           state->hugePages.size() * kHugePageSpan);
     if (state->vaEnd > state->vaStart)
         state->mm->releaseHoldback(state->vaStart, state->vaEnd);
     env_.cores->chargeStolen(state->owner, spent);

@@ -115,6 +115,13 @@ class LatrPolicy : public TlbCoherencePolicy
     /** Direct ring access for white-box tests. */
     const std::vector<LatrState> &ringOf(CoreId core) const;
 
+    /**
+     * The sweep-elision summary mask. Invariant: a superset of the
+     * union of every active state's cpuMask, so a clear bit proves
+     * the core's sweep would match nothing.
+     */
+    const CpuMask &pendingSweepers() const { return pendingSweepers_; }
+
     /// @}
 
   private:
@@ -139,9 +146,39 @@ class LatrPolicy : public TlbCoherencePolicy
     /** Sweep slack: see onNumaSample's mmap_sem blocking. */
     Duration migrationBlockSlack() const { return 5 * kUsec; }
 
+    /** The sweep's LLC state-block walk (matches + 1 lines). */
+    void touchSweepLlc(CoreId core, unsigned matches);
+
     std::vector<std::vector<LatrState>> rings_; // per core
     std::vector<LatrState *> active_;
     std::vector<LatrState *> pending_;
+
+    /**
+     * Cores some active state may still address: set (ORed) whenever
+     * a state publishes its cpuMask, cleared for a core only right
+     * after that core's full sweep scanned every active state. Never
+     * cleared on deactivation, so the mask can over-approximate —
+     * which only costs one redundant full scan, never correctness.
+     * On 120-core runs where most cores' sweeps match nothing, a
+     * clear bit lets sweep() skip the O(active_) scan while charging
+     * exactly what the naive empty scan charges.
+     */
+    CpuMask pendingSweepers_;
+    /** Elision enabled (config.noFastpath forces the naive scan). */
+    const bool fastpath_;
+    Counter &sweepsCtr_;
+    Counter &sweepMatchesCtr_;
+    Counter &statesSavedCtr_;
+    Counter &fallbackIpisCtr_;
+    Counter &migrationUnmapsCtr_;
+    Counter &reclaimedPagesCtr_;
+    /**
+     * Per-core ring-allocation cursors. States deactivate roughly in
+     * publication order, so resuming the Empty-slot search where the
+     * last allocation left off makes allocSlot() amortized O(1)
+     * instead of a scan over every in-flight slot.
+     */
+    std::vector<unsigned> allocCursor_;
 };
 
 } // namespace latr

@@ -377,8 +377,8 @@ AddressSpace::setContentTag(Vpn vpn, std::uint64_t tag)
 std::uint64_t
 AddressSpace::contentTag(Vpn vpn) const
 {
-    auto it = contentTags_.find(vpn);
-    return it == contentTags_.end() ? 0 : it->second;
+    const std::uint64_t *tag = contentTags_.find(vpn);
+    return tag ? *tag : 0;
 }
 
 void
@@ -396,8 +396,8 @@ AddressSpace::noteAccess(Vpn vpn, CoreId core)
 CpuMask
 AddressSpace::sharersOf(Vpn vpn) const
 {
-    auto it = sharers_.find(vpn);
-    return it == sharers_.end() ? CpuMask() : it->second;
+    const CpuMask *mask = sharers_.find(vpn);
+    return mask ? *mask : CpuMask();
 }
 
 void

@@ -19,13 +19,13 @@
 
 #include <cstdint>
 #include <map>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "mem/frame_allocator.hh"
 #include "mem/page_table.hh"
 #include "sim/types.hh"
+#include "vm/flat_page_map.hh"
 #include "vm/sem.hh"
 #include "vm/vma.hh"
 
@@ -228,8 +228,11 @@ class AddressSpace
 
     std::map<Addr, Vma> vmas_;           // keyed by start
     std::map<Addr, Addr> holdback_;      // start -> end
-    std::unordered_map<Vpn, CpuMask> sharers_;
-    std::unordered_map<Vpn, std::uint64_t> contentTags_;
+    // Flat slot arrays (vm/flat_page_map.hh): ABIS consults
+    // sharers_ once per page on every munmap, so the probe chains
+    // must be cache-friendly, not node-per-entry.
+    FlatPageMap<CpuMask> sharers_;
+    FlatPageMap<std::uint64_t> contentTags_;
 };
 
 } // namespace latr

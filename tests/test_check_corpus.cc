@@ -49,7 +49,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("latr_ring_full.script",
                       "abis_scan_boundary.script",
                       "barrelfish_remote_unmap.script",
-                      "pcid_on.script", "pcid_off.script"),
+                      "pcid_on.script", "pcid_off.script",
+                      "large_word_boundary.script",
+                      "large_sync_shootdown.script"),
     [](const ::testing::TestParamInfo<const char *> &info) {
         std::string name = info.param;
         return name.substr(0, name.find('.'));

@@ -109,6 +109,49 @@ TEST(CpuMask, ResetAndEquality)
     EXPECT_FALSE(a == b);
 }
 
+TEST(CpuMask, ForEachWordSkipsEmptyWords)
+{
+    CpuMask m;
+    unsigned calls = 0;
+    m.forEachWord([&](unsigned, std::uint64_t) { ++calls; });
+    EXPECT_EQ(calls, 0u);
+
+    m.set(5);
+    m.forEachWord([&](unsigned word, std::uint64_t bits) {
+        EXPECT_EQ(word, 0u);
+        EXPECT_EQ(bits, 1ULL << 5);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+
+    m.reset();
+    m.set(100);
+    calls = 0;
+    m.forEachWord([&](unsigned word, std::uint64_t bits) {
+        EXPECT_EQ(word, 1u);
+        EXPECT_EQ(bits, 1ULL << 36);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(CpuMask, ForEachWordAtWordBoundaryCores)
+{
+    // The cores that straddle the 64-bit word boundary on a 120-core
+    // machine: word/bit decomposition must match word * 64 + bit.
+    for (CoreId core : {0u, 63u, 64u, 119u, 127u}) {
+        CpuMask m;
+        m.set(core);
+        unsigned visited = 0;
+        m.forEachWord([&](unsigned word, std::uint64_t bits) {
+            EXPECT_EQ(word, core / 64);
+            EXPECT_EQ(bits, 1ULL << (core % 64));
+            ++visited;
+        });
+        EXPECT_EQ(visited, 1u);
+    }
+}
+
 class CpuMaskWidthTest : public ::testing::TestWithParam<unsigned>
 {
 };
@@ -124,6 +167,23 @@ TEST_P(CpuMaskWidthTest, CountMatchesSetBitsAtEveryWidth)
         ++visited;
     });
     EXPECT_EQ(visited, n);
+}
+
+TEST_P(CpuMaskWidthTest, ForEachWordReassemblesFirstN)
+{
+    const unsigned n = GetParam();
+    const CpuMask m = CpuMask::firstN(n);
+    CpuMask rebuilt;
+    m.forEachWord([&](unsigned word, std::uint64_t bits) {
+        EXPECT_NE(bits, 0u);
+        while (bits) {
+            const unsigned bit = static_cast<unsigned>(
+                __builtin_ctzll(bits));
+            bits &= bits - 1;
+            rebuilt.set(static_cast<CoreId>(word * 64 + bit));
+        }
+    });
+    EXPECT_TRUE(rebuilt == m);
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, CpuMaskWidthTest,
