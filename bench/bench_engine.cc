@@ -20,11 +20,19 @@
 //                  sweep-elision mask, and the flat sharer map
 //                  exist for.
 //
+// The machine scenarios run twice: on the classic sequential engine
+// and on the parallel batched engine (`--sim-threads=N`, default 4),
+// reported as munmap_storm / munmap_storm_tN and big_machine /
+// big_machine_tN. Both runs must execute the exact same event count
+// — the bench exits 3 if they diverge, a cheap standing equivalence
+// check on the parallel engine.
+//
 // Each scenario reports events/sec; `--json=FILE` writes the rows in
 // the shared BENCH_*.json shape so the perf trajectory is tracked
 // from run to run. `--check-against=BASELINE.json` exits nonzero if
-// munmap_storm or big_machine regresses more than --max-regression
-// (default 0.30) below the baseline — the CI perf-smoke gate.
+// any machine scenario regresses more than --max-regression (default
+// 0.30) below the baseline, and complains loudly when a baseline
+// scenario is missing from the run — the CI perf-smoke gate.
 // `--no-fastpath` runs the machine scenarios on the naive engine
 // paths, quantifying what the fast paths buy.
 
@@ -37,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_runner.hh"
 #include "bench_util.hh"
 #include "hw/tlb.hh"
 #include "machine/machine.hh"
@@ -173,7 +182,8 @@ runTlbChurn()
 }
 
 ScenarioResult
-runMunmapStorm(bool no_fastpath)
+runMunmapStorm(const char *name, bool no_fastpath,
+               unsigned sim_threads)
 {
     std::uint64_t events = 0;
     double wall = 0;
@@ -181,6 +191,7 @@ runMunmapStorm(bool no_fastpath)
          {PolicyKind::LinuxSync, PolicyKind::Latr}) {
         MachineConfig config = MachineConfig::commodity2S16C();
         config.noFastpath = no_fastpath;
+        config.simThreads = sim_threads;
         Machine machine(config, policy);
         MunmapMicrobenchConfig cfg;
         cfg.sharingCores = 16;
@@ -193,7 +204,7 @@ runMunmapStorm(bool no_fastpath)
         wall += wallSeconds(start);
         events += machine.queue().executed();
     }
-    return {"munmap_storm", events, wall};
+    return {name, events, wall};
 }
 
 /**
@@ -212,7 +223,8 @@ runMunmapStorm(bool no_fastpath)
  * result must not change either way.
  */
 ScenarioResult
-runBigMachine(bool no_fastpath)
+runBigMachine(const char *name, bool no_fastpath,
+              unsigned sim_threads)
 {
     constexpr unsigned kPublishers = 20;
     constexpr unsigned kIterations = 400;
@@ -225,6 +237,7 @@ runBigMachine(bool no_fastpath)
     for (PolicyKind policy : {PolicyKind::Latr, PolicyKind::Abis}) {
         MachineConfig config = MachineConfig::largeNuma8S120C();
         config.noFastpath = no_fastpath;
+        config.simThreads = sim_threads;
         // Tagged TLBs: context switches on the oversubscribed cores
         // must not flush residency, or the global mm's mask (and the
         // wide shootdown) degenerates.
@@ -306,30 +319,41 @@ runBigMachine(bool no_fastpath)
         wall += wallSeconds(start);
         events += machine.queue().executed();
     }
-    return {"big_machine", events, wall};
+    return {name, events, wall};
 }
 
 /**
- * Pull one scenario's events_per_sec out of a BENCH_engine.json
- * written by an earlier run. @return < 0 when unreadable.
+ * Pull every scenario's events_per_sec out of a BENCH_engine.json
+ * written by an earlier run: (name, events_per_sec) in file order.
+ * An empty result means the file was unreadable or held no rows.
  */
-double
-baselineEventsPerSec(const std::string &path, const char *scenario)
+std::vector<std::pair<std::string, double>>
+baselineScenarios(const std::string &path)
 {
+    std::vector<std::pair<std::string, double>> out;
     std::ifstream in(path);
     if (!in)
-        return -1.0;
+        return out;
     std::stringstream ss;
     ss << in.rdbuf();
     const std::string text = ss.str();
-    std::size_t at =
-        text.find("\"" + std::string(scenario) + "\"");
-    if (at == std::string::npos)
-        return -1.0;
-    at = text.find("\"events_per_sec\":", at);
-    if (at == std::string::npos)
-        return -1.0;
-    return std::strtod(text.c_str() + at + 17, nullptr);
+    std::size_t at = 0;
+    while ((at = text.find("\"scenario\": \"", at)) !=
+           std::string::npos) {
+        at += 13;
+        const std::size_t end = text.find('"', at);
+        if (end == std::string::npos)
+            break;
+        const std::string name = text.substr(at, end - at);
+        const std::size_t eps =
+            text.find("\"events_per_sec\":", end);
+        if (eps == std::string::npos)
+            break;
+        out.emplace_back(
+            name, std::strtod(text.c_str() + eps + 17, nullptr));
+        at = end;
+    }
+    return out;
 }
 
 } // namespace
@@ -351,6 +375,11 @@ main(int argc, char **argv)
     // Accept either a fraction (0.30) or a percentage (30).
     if (maxRegression > 1.0)
         maxRegression /= 100.0;
+    // Threaded machine rows: default 4, overridable for hosts where
+    // a different count is the interesting one.
+    unsigned simThreads = bench::simThreadsFromArgs(argc, argv);
+    if (simThreads == 0)
+        simThreads = 4;
 
     const MachineConfig config = MachineConfig::commodity2S16C();
     bench::banner("Engine", "simulation-engine throughput", config);
@@ -358,17 +387,39 @@ main(int argc, char **argv)
         "simulator throughput bounds design-space coverage; engine "
         "hot paths must be allocation-free");
     bench::rule();
-    std::printf("%-14s | %14s %10s | %14s\n", "scenario", "events",
+    std::printf("%-16s | %14s %10s | %14s\n", "scenario", "events",
                 "wall_s", "events/sec");
     bench::rule();
 
     bench::JsonWriter json("Engine", "simulation-engine throughput");
+    json.config("sim_threads", std::uint64_t{simThreads})
+        .config("no_fastpath", std::uint64_t{noFastpath ? 1u : 0u})
+        .config("jobs", std::uint64_t{1});
+
+    char threadedStorm[32], threadedBig[32];
+    std::snprintf(threadedStorm, sizeof threadedStorm,
+                  "munmap_storm_t%u", simThreads);
+    std::snprintf(threadedBig, sizeof threadedBig, "big_machine_t%u",
+                  simThreads);
+
+    // The machine scenarios run twice — classic sequential engine
+    // and the batched engine at simThreads — and must execute the
+    // exact same event count: the parallel engine is a host-speed
+    // knob, never a model change.
+    std::vector<ScenarioResult> results;
+    results.push_back(runEventChurn());
+    results.push_back(runTlbChurn());
+    results.push_back(runMunmapStorm("munmap_storm", noFastpath, 0));
+    results.push_back(
+        runMunmapStorm(threadedStorm, noFastpath, simThreads));
+    results.push_back(runBigMachine("big_machine", noFastpath, 0));
+    results.push_back(
+        runBigMachine(threadedBig, noFastpath, simThreads));
+
     double stormEps = 0;
     double bigEps = 0;
-    for (const ScenarioResult &r :
-         {runEventChurn(), runTlbChurn(), runMunmapStorm(noFastpath),
-          runBigMachine(noFastpath)}) {
-        std::printf("%-14s | %14llu %10.3f | %14.0f\n", r.name,
+    for (const ScenarioResult &r : results) {
+        std::printf("%-16s | %14llu %10.3f | %14.0f\n", r.name,
                     static_cast<unsigned long long>(r.events),
                     r.wallSec, r.eventsPerSec());
         json.row()
@@ -382,6 +433,21 @@ main(int argc, char **argv)
             bigEps = r.eventsPerSec();
     }
     bench::rule();
+    for (std::size_t i = 2; i + 1 < results.size(); i += 2) {
+        if (results[i].events != results[i + 1].events) {
+            std::fprintf(
+                stderr,
+                "bench_engine: %s executed %llu events but %s "
+                "executed %llu — the parallel engine changed the "
+                "simulation\n",
+                results[i].name,
+                static_cast<unsigned long long>(results[i].events),
+                results[i + 1].name,
+                static_cast<unsigned long long>(
+                    results[i + 1].events));
+            return 3;
+        }
+    }
     bench::measuredHeadline(
         "munmap_storm %.0f events/sec, big_machine %.0f events/sec",
         stormEps, bigEps);
@@ -391,29 +457,57 @@ main(int argc, char **argv)
     json.write(bench::jsonPathFromArgs(argc, argv));
 
     if (!checkAgainst.empty()) {
-        const struct
-        {
-            const char *scenario;
-            double measured;
-        } gates[] = {{"munmap_storm", stormEps},
-                     {"big_machine", bigEps}};
-        for (const auto &gate : gates) {
-            const double base =
-                baselineEventsPerSec(checkAgainst, gate.scenario);
-            if (base <= 0) {
+        const auto baseline = baselineScenarios(checkAgainst);
+        if (baseline.empty()) {
+            std::fprintf(stderr,
+                         "bench_engine: cannot read any scenario "
+                         "rows from baseline '%s'\n",
+                         checkAgainst.c_str());
+            return 2;
+        }
+        // Gate only the machine scenarios: the churn
+        // microbenchmarks are too noisy for a hard floor.
+        auto gated = [&](const std::string &name) {
+            return name.compare(0, 12, "munmap_storm") == 0 ||
+                   name.compare(0, 11, "big_machine") == 0;
+        };
+        bool failed = false;
+        for (const auto &base : baseline) {
+            if (!gated(base.first))
+                continue;
+            const ScenarioResult *measured = nullptr;
+            for (const ScenarioResult &r : results)
+                if (base.first == r.name)
+                    measured = &r;
+            if (!measured) {
+                // A baseline scenario this run never produced would
+                // otherwise pass silently — the exact failure mode
+                // that hides a renamed or dropped gate.
+                std::fprintf(
+                    stderr,
+                    "bench_engine: baseline scenario '%s' missing "
+                    "from this run (have:",
+                    base.first.c_str());
+                for (const ScenarioResult &r : results)
+                    std::fprintf(stderr, " %s", r.name);
                 std::fprintf(stderr,
-                             "bench_engine: no %s baseline in '%s'\n",
-                             gate.scenario, checkAgainst.c_str());
+                             "); re-run with matching --sim-threads "
+                             "or refresh the baseline\n");
                 return 2;
             }
-            const double floor = base * (1.0 - maxRegression);
+            const double floor = base.second * (1.0 - maxRegression);
             std::printf("perf gate [%s]: %.0f events/sec vs baseline "
                         "%.0f (floor %.0f): %s\n",
-                        gate.scenario, gate.measured, base, floor,
-                        gate.measured >= floor ? "ok" : "REGRESSION");
-            if (gate.measured < floor)
-                return 1;
+                        base.first.c_str(), measured->eventsPerSec(),
+                        base.second, floor,
+                        measured->eventsPerSec() >= floor
+                            ? "ok"
+                            : "REGRESSION");
+            if (measured->eventsPerSec() < floor)
+                failed = true;
         }
+        if (failed)
+            return 1;
     }
     return 0;
 }

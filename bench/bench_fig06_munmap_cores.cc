@@ -96,6 +96,8 @@ main(int argc, char **argv)
 
     bench::JsonWriter json("Figure 6",
                            "munmap(1 page) cost vs. sharing cores");
+    json.config("jobs",
+                std::uint64_t{bench::jobsFromArgs(argc, argv)});
     double linux16 = 0, latr16 = 0, linux16_sd = 0;
     for (const Point &p : runner.run()) {
         const MunmapMicrobenchResult &linux_r = p.linuxR;

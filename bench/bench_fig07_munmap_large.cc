@@ -70,6 +70,8 @@ main(int argc, char **argv)
 
     bench::JsonWriter json(
         "Figure 7", "munmap(1 page) cost vs. cores, 8-socket machine");
+    json.config("jobs",
+                std::uint64_t{bench::jobsFromArgs(argc, argv)});
     double linux120 = 0, latr120 = 0, linux120_sd = 0;
     for (const Point &p : runner.run()) {
         const MunmapMicrobenchResult &linux_r = p.linuxR;

@@ -69,6 +69,8 @@ main(int argc, char **argv)
 
     bench::JsonWriter json("Figure 8",
                            "munmap cost vs. page count (16 cores)");
+    json.config("jobs",
+                std::uint64_t{bench::jobsFromArgs(argc, argv)});
     double improv1 = 0, improv512 = 0;
     std::uint64_t holdback512 = 0;
     for (const Point &p : runner.run()) {

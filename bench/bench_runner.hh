@@ -47,6 +47,25 @@ jobsFromArgs(int argc, char **argv)
 }
 
 /**
+ * `--sim-threads=N` from the bench's argv: the engine-internal
+ * parallel-dispatch thread count (MachineConfig::simThreads). 0 (the
+ * default, and the flag absent) keeps the classic sequential engine.
+ * Orthogonal to `--jobs`: jobs parallelize across independent
+ * machines, sim-threads parallelize event execution inside one
+ * machine — and neither may change any simulated result.
+ */
+inline unsigned
+simThreadsFromArgs(int argc, char **argv)
+{
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i)
+        if (std::strncmp(argv[i], "--sim-threads=", 14) == 0)
+            threads =
+                static_cast<unsigned>(std::atoi(argv[i] + 14));
+    return threads;
+}
+
+/**
  * Collects closures returning R and runs them across a thread pool.
  * Results land in submission order regardless of completion order.
  */

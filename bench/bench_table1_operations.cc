@@ -63,6 +63,8 @@ main(int argc, char **argv)
 
     bench::JsonWriter json(
         "Table 1", "virtual-address operations and lazy feasibility");
+    json.config("jobs",
+                std::uint64_t{bench::jobsFromArgs(argc, argv)});
     std::printf("%-12s %-16s %-34s %s\n", "class", "operation",
                 "description", "lazy?");
     bench::rule();

@@ -82,8 +82,14 @@ us(double ns)
  *     "experiment": "Figure 6",
  *     "description": "...",
  *     "headline": "...",
+ *     "config": {"jobs": 4, "sim_threads": 0, ...},
  *     "rows": [ {"cores": 16, "linux_us": 7.9, ...}, ... ]
  *   }
+ *
+ * The config object records the host-side knobs the bench ran with
+ * (worker processes, engine threads, fast-path switches) so a
+ * BENCH_*.json is self-describing: two files can only be compared
+ * when their configs match.
  */
 class JsonWriter
 {
@@ -127,6 +133,24 @@ class JsonWriter
         return *this;
     }
 
+    /** Record one host-side knob in the document's config object. */
+    JsonWriter &
+    config(const char *key, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(value));
+        config_.emplace_back(key, buf);
+        return *this;
+    }
+
+    JsonWriter &
+    config(const char *key, const std::string &value)
+    {
+        config_.emplace_back(key, quote(value));
+        return *this;
+    }
+
     /** Record the measured headline (mirrors measuredHeadline()). */
     void
     headline(const char *fmt, ...)
@@ -157,6 +181,14 @@ class JsonWriter
                      quote(description_).c_str());
         std::fprintf(f, "  \"headline\": %s,\n",
                      quote(headline_).c_str());
+        if (!config_.empty()) {
+            std::fprintf(f, "  \"config\": {");
+            for (std::size_t i = 0; i < config_.size(); ++i)
+                std::fprintf(f, "%s\"%s\": %s", i ? ", " : "",
+                             config_[i].first.c_str(),
+                             config_[i].second.c_str());
+            std::fprintf(f, "},\n");
+        }
         std::fprintf(f, "  \"rows\": [");
         for (std::size_t i = 0; i < rows_.size(); ++i) {
             std::fprintf(f, "%s\n    {", i ? "," : "");
@@ -193,6 +225,7 @@ class JsonWriter
     std::string experiment_;
     std::string description_;
     std::string headline_;
+    std::vector<std::pair<std::string, std::string>> config_;
     std::vector<std::vector<std::pair<std::string, std::string>>>
         rows_;
 };

@@ -50,6 +50,7 @@ executorConfig(const Script &script, const ExecOptions &opt)
     cfg.pcidEnabled = script.pcid;
     cfg.injectSkipLatrSweep = opt.injectSkipLatrSweep;
     cfg.noFastpath = opt.noFastpath;
+    cfg.simThreads = opt.simThreads;
     return cfg;
 }
 

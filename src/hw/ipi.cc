@@ -17,7 +17,8 @@ IpiBroadcastResult
 IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
                      Tick start,
                      std::function<Duration(CoreId)> handler_cost,
-                     std::function<void(CoreId, Tick)> on_deliver)
+                     std::function<void(CoreId, Tick)> on_deliver,
+                     const void *deliver_space)
 {
     if (start < queue_.now())
         start = queue_.now();
@@ -70,8 +71,18 @@ IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
         }
 
         if (on_deliver) {
-            queue_.scheduleLambda(delivered, [on_deliver, target,
-                                              delivered]() {
+            // Deliveries declare their footprint (target core + the
+            // shot-down space) so they ride along in parallel
+            // batches; commit order alone serializes the handler's
+            // side effects.
+            EventFootprint fp;
+            fp.writeCore(target);
+            if (deliver_space)
+                fp.writeSpace(deliver_space);
+            else
+                fp.writeAllSpaces();
+            queue_.scheduleLambda(delivered, fp, [on_deliver, target,
+                                                  delivered]() {
                 on_deliver(target, delivered);
             });
         }

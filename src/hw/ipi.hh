@@ -71,13 +71,20 @@ class IpiFabric
      * @param on_deliver side effects to apply when the interrupt is
      *        handled on a target (TLB invalidation, stolen-time
      *        charging); invoked at the handler-start tick.
+     * @param deliver_space identity of the address space
+     *        @p on_deliver mutates, for the delivery events'
+     *        conflict footprints. Each delivery declares a write of
+     *        the target core plus this space; nullptr (unknown)
+     *        widens the declaration to every space — still
+     *        batchable, just a coarser write set.
      * @return completion information, including the tick the last
      *         ACK arrives (the initiator blocks until then).
      */
     IpiBroadcastResult broadcast(
         CoreId initiator, const CpuMask &targets, Tick start,
         std::function<Duration(CoreId)> handler_cost,
-        std::function<void(CoreId, Tick)> on_deliver);
+        std::function<void(CoreId, Tick)> on_deliver,
+        const void *deliver_space = nullptr);
 
     /// @name Stats
     /// @{

@@ -100,10 +100,29 @@ EventQueue::scheduleLambda(Tick when, std::function<void()> fn)
         ev = lambdaPool_.back();
         lambdaPool_.pop_back();
         ev->fn_ = std::move(fn);
+        ev->hasFp_ = false;
     } else {
         ev = new LambdaEvent(std::move(fn));
         ev->autoDelete_ = true;
     }
+    schedule(ev, when);
+}
+
+void
+EventQueue::scheduleLambda(Tick when, const EventFootprint &fp,
+                           std::function<void()> fn)
+{
+    LambdaEvent *ev;
+    if (!lambdaPool_.empty()) {
+        ev = lambdaPool_.back();
+        lambdaPool_.pop_back();
+        ev->fn_ = std::move(fn);
+    } else {
+        ev = new LambdaEvent(std::move(fn));
+        ev->autoDelete_ = true;
+    }
+    ev->fp_ = fp;
+    ev->hasFp_ = true;
     schedule(ev, when);
 }
 
@@ -151,6 +170,8 @@ EventQueue::dispatchTop()
 std::uint64_t
 EventQueue::run(Tick limit)
 {
+    if (exec_)
+        return runBatched(limit); // src/sim/parallel_exec.cc
     std::uint64_t executed = 0;
     for (;;) {
         popStale();

@@ -1,0 +1,272 @@
+#include "sim/parallel_exec.hh"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace latr
+{
+
+namespace
+{
+/**
+ * Batch size cap. Bounds how far the dispatcher speculates past the
+ * commit frontier (and therefore how much interloper scanning a
+ * commit can owe); far above the handful of same-phase ticks a
+ * machine produces, far below anything that would hurt.
+ */
+constexpr std::size_t kMaxBatch = 128;
+
+void
+pinToHostCpu(unsigned lane)
+{
+#ifdef __linux__
+    const unsigned ncpus = std::thread::hardware_concurrency();
+    if (ncpus == 0)
+        return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(lane % ncpus, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+#else
+    (void)lane;
+#endif
+}
+} // namespace
+
+ParallelExecutor::ParallelExecutor(unsigned threads)
+    : threads_(threads == 0 ? 1 : threads)
+{
+    computedBy_.assign(threads_, 0);
+    workers_.reserve(threads_ - 1);
+    for (unsigned i = 1; i < threads_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ParallelExecutor::~ParallelExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+        ++generation_;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ParallelExecutor::drainBatch(unsigned lane, Event *const *events,
+                             std::size_t count)
+{
+    std::size_t local = 0;
+    for (;;) {
+        const std::size_t idx =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= count)
+            break;
+        events[idx]->compute();
+        ++local;
+    }
+    if (local == 0)
+        return; // claimed nothing: no completion to publish
+    computedBy_[lane] += local;
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_ += local;
+    if (completed_ == count)
+        done_.notify_one();
+}
+
+void
+ParallelExecutor::workerLoop(unsigned lane)
+{
+    pinToHostCpu(lane);
+    std::uint64_t seen = 0;
+    for (;;) {
+        Event *const *events;
+        std::size_t count;
+        {
+            // Copy the batch descriptor under the lock: the publish
+            // in computeBatch() happens-before this read, and a
+            // worker never touches the member fields unsynchronized.
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            events = events_;
+            count = count_;
+        }
+        drainBatch(lane, events, count);
+    }
+}
+
+void
+ParallelExecutor::computeBatch(Event *const *events, std::size_t n,
+                               unsigned heavyCount)
+{
+    stats_.computed += n;
+    if (threads_ == 1 || heavyCount < 2 || n < 2) {
+        // Inline: the wakeup would cost more than the computes, or
+        // there is nobody to share them with.
+        for (std::size_t i = 0; i < n; ++i)
+            events[i]->compute();
+        computedBy_[0] += n;
+        return;
+    }
+    ++stats_.parallelBatches;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        events_ = events;
+        count_ = n;
+        completed_ = 0;
+        cursor_.store(0, std::memory_order_relaxed);
+        ++generation_;
+    }
+    wake_.notify_all();
+    drainBatch(0, events, n);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] { return completed_ == count_; });
+}
+
+/*
+ * The batched run loop. Structure per outer iteration:
+ *
+ *   1. Formation: pop the (tick, seq)-contiguous prefix of live
+ *      events whose declared read sets are disjoint from the
+ *      accumulated write union of the members admitted before them.
+ *      An undeclared event at the front is a barrier, dispatched
+ *      inline the classic way; behind admitted members it just ends
+ *      the batch. Members stay logically scheduled — slots and
+ *      livePending_ untouched — so a commit that deschedules a later
+ *      member works through the ordinary (slot, gen) staleness check.
+ *
+ *   2. Compute: every member's compute() runs (worker pool or
+ *      inline), strictly before any commit. Computes are read-only,
+ *      so their order is irrelevant.
+ *
+ *   3. Commit: members' process() bodies replay in exact (tick, seq)
+ *      order on this thread, exactly like dispatchTop(). Before each
+ *      member, any event ordered ahead of it that a previous commit
+ *      scheduled (an interloper — always a fresh, higher seq, so at
+ *      a strictly earlier tick) is dispatched inline. After each
+ *      commit the epochs of the globals the member declared written
+ *      advance, invalidating plans speculated under older state.
+ *
+ * Every mutation of simulated state happens in step 3 (or in inline
+ * barrier dispatches), in the same order the sequential engine would
+ * produce — byte-identical results by construction.
+ */
+std::uint64_t
+EventQueue::runBatched(Tick limit)
+{
+    std::uint64_t executed = 0;
+    ParallelExecutor::Stats &stats = exec_->stats();
+    // The driver may have touched anything between run() calls
+    // (published LATR states, freed frames): invalidate all plans.
+    bumpAllEpochs();
+    for (;;) {
+        popStale();
+        if (heap_.empty())
+            break;
+        if (heap_.top().when > limit) {
+            now_ = limit;
+            break;
+        }
+
+        batch_.clear();
+        batchEvents_.clear();
+        ConflictTracker tracker;
+        tracker.clear();
+        unsigned heavy = 0;
+        for (;;) {
+            popStale();
+            if (heap_.empty() || heap_.top().when > limit)
+                break;
+            if (batch_.size() >= kMaxBatch)
+                break;
+            const Entry top = heap_.top();
+            Event *ev = slots_[top.slot].event;
+            scratchFp_.clear();
+            if (!ev->footprint(scratchFp_)) {
+                if (batch_.empty()) {
+                    // Barrier at the front: classic inline dispatch.
+                    dispatchInlineBatched();
+                    ++stats.barrierEvents;
+                    ++executed;
+                    continue;
+                }
+                break;
+            }
+            if (tracker.conflicts(scratchFp_))
+                break;
+            heap_.pop();
+            tracker.absorb(scratchFp_);
+            batch_.push_back(BatchMember{
+                top, ev, scratchFp_.globalsWritten()});
+            batchEvents_.push_back(ev);
+            if (ev->computeWeight() > 0)
+                ++heavy;
+        }
+        if (batch_.empty())
+            continue;
+
+        ++stats.batches;
+        stats.batchedEvents += batch_.size();
+        exec_->computeBatch(batchEvents_.data(), batchEvents_.size(),
+                            heavy);
+
+        for (const BatchMember &m : batch_) {
+            for (;;) {
+                popStale();
+                if (heap_.empty())
+                    break;
+                const Entry &top = heap_.top();
+                if (top.when > m.entry.when ||
+                    (top.when == m.entry.when &&
+                     top.seq > m.entry.seq))
+                    break;
+                dispatchInlineBatched();
+                ++executed;
+            }
+            Slot &slot = slots_[m.entry.slot];
+            if (slot.gen != m.entry.gen)
+                continue; // descheduled by an earlier commit
+            Event *ev = slot.event;
+            const bool owned = slot.owned;
+            ev->scheduled_ = false;
+            releaseSlot(m.entry.slot);
+            --livePending_;
+            now_ = m.entry.when;
+            ++executed_;
+            ev->process();
+            bumpEpochs(m.writtenGlobals);
+            if (owned)
+                recycleLambda(static_cast<LambdaEvent *>(ev));
+            ++executed;
+        }
+    }
+    if (limit != kTickNever && now_ < limit)
+        now_ = limit;
+    return executed;
+}
+
+void
+EventQueue::dispatchInlineBatched()
+{
+    const Entry top = heap_.top();
+    scratchFp_.clear();
+    const bool declared =
+        slots_[top.slot].event->footprint(scratchFp_);
+    const std::uint32_t written = scratchFp_.globalsWritten();
+    dispatchTop();
+    if (declared)
+        bumpEpochs(written);
+    else
+        bumpAllEpochs();
+}
+
+} // namespace latr

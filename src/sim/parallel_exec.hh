@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The optimistic parallel dispatch layer of the engine. Two pieces
+ * live here:
+ *
+ *  - ConflictTracker: the accumulated write set of an open batch,
+ *    against which each candidate event's declared read set is
+ *    checked. Disjoint candidates join the batch; the first overlap
+ *    (or undeclared event) ends it.
+ *
+ *  - ParallelExecutor: a pinned worker pool that runs the read-only
+ *    compute() phases of one batch concurrently. Each worker is
+ *    pinned to a host CPU and keeps per-worker statistics — the
+ *    local-acquire discipline NUMA-aware event pools use, applied to
+ *    compute slots instead of allocations (the events themselves stay
+ *    in the queue's freelist, which only the committing coordinator
+ *    touches).
+ *
+ * The batched run loop itself is EventQueue::runBatched(), defined in
+ * parallel_exec.cc next to these helpers: it pops a contiguous
+ * (tick, seq) prefix of conflict-disjoint events, runs every
+ * compute(), then replays the process() commits strictly in
+ * (tick, seq) order on the coordinator — interleaving any events that
+ * earlier commits scheduled in between ("interlopers") and skipping
+ * members an earlier commit descheduled. Because every simulated
+ * mutation happens in commit order on one thread, digests, counters,
+ * and traces are byte-identical to the sequential engine by
+ * construction; footprints only decide how much runs in parallel.
+ */
+
+#ifndef LATR_SIM_PARALLEL_EXEC_HH_
+#define LATR_SIM_PARALLEL_EXEC_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace latr
+{
+
+/**
+ * The union of the write footprints of every event admitted to the
+ * open batch. A candidate conflicts iff its *read* set intersects
+ * this write union: with all computes running before the first
+ * commit, a later member's compute observing state an earlier
+ * member's commit will change is the only ordering hazard the
+ * protocol leaves open. Commit/commit overlap is serialized by the
+ * (tick, seq) replay and read/read overlap is harmless.
+ */
+class ConflictTracker
+{
+  public:
+    static constexpr unsigned kMaxSpaces = 16;
+
+    void
+    clear()
+    {
+        coresWritten_.reset();
+        globalsWritten_ = 0;
+        nSpaces_ = 0;
+        allSpaces_ = false;
+    }
+
+    /** Does @p fp's read set intersect the accumulated write set? */
+    bool
+    conflicts(const EventFootprint &fp) const
+    {
+        if (globalsWritten_ & fp.globalsRead())
+            return true;
+        CpuMask overlap = coresWritten_;
+        overlap.andWith(fp.coresRead());
+        if (!overlap.empty())
+            return true;
+        const bool readsAny =
+            fp.allSpacesRead() || fp.spacesRead() > 0;
+        if (allSpaces_ && readsAny)
+            return true;
+        if (fp.allSpacesRead() && nSpaces_ > 0)
+            return true;
+        for (unsigned i = 0; i < fp.spacesRead(); ++i)
+            for (unsigned j = 0; j < nSpaces_; ++j)
+                if (fp.spaceRead(i) == spaces_[j])
+                    return true;
+        return false;
+    }
+
+    /** Fold @p fp's write set into the accumulated union. */
+    void
+    absorb(const EventFootprint &fp)
+    {
+        coresWritten_.orWith(fp.coresWritten());
+        globalsWritten_ |= fp.globalsWritten();
+        if (fp.allSpacesWritten())
+            allSpaces_ = true;
+        if (allSpaces_)
+            return;
+        for (unsigned i = 0; i < fp.spacesWritten(); ++i) {
+            const void *mm = fp.spaceWritten(i);
+            bool known = false;
+            for (unsigned j = 0; j < nSpaces_; ++j)
+                if (spaces_[j] == mm)
+                    known = true;
+            if (known)
+                continue;
+            if (nSpaces_ == kMaxSpaces) {
+                allSpaces_ = true;
+                return;
+            }
+            spaces_[nSpaces_++] = mm;
+        }
+    }
+
+  private:
+    CpuMask coresWritten_;
+    std::uint32_t globalsWritten_ = 0;
+    const void *spaces_[kMaxSpaces] = {};
+    unsigned nSpaces_ = 0;
+    bool allSpaces_ = false;
+};
+
+/**
+ * The compute worker pool: @p threads total compute lanes, i.e. the
+ * coordinating thread plus threads-1 pinned workers. A pool of one
+ * spawns no threads and runs every compute inline; larger pools
+ * offload a batch only when it contains at least two nontrivial
+ * computes (Event::computeWeight()), so machines whose batches are
+ * cheap never pay wakeup latency.
+ */
+class ParallelExecutor
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t batches = 0;         ///< batches dispatched
+        std::uint64_t parallelBatches = 0; ///< offloaded to workers
+        std::uint64_t computed = 0;        ///< compute() calls, total
+        std::uint64_t batchedEvents = 0;   ///< events committed via batches
+        std::uint64_t barrierEvents = 0;   ///< undeclared inline dispatches
+    };
+
+    explicit ParallelExecutor(unsigned threads);
+
+    ~ParallelExecutor();
+
+    ParallelExecutor(const ParallelExecutor &) = delete;
+    ParallelExecutor &operator=(const ParallelExecutor &) = delete;
+
+    /** Total compute lanes (coordinator included); always >= 1. */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Run compute() of every event in @p events [0, n); returns when
+     * all have finished. @p heavyCount is how many report nonzero
+     * computeWeight(); fewer than two runs the batch inline.
+     */
+    void computeBatch(Event *const *events, std::size_t n,
+                      unsigned heavyCount);
+
+    /** Mutable dispatcher statistics (EventQueue updates these). */
+    Stats &stats() { return stats_; }
+    const Stats &stats() const { return stats_; }
+
+    /** compute() calls executed by worker @p idx (0 = coordinator). */
+    std::uint64_t
+    computedBy(unsigned idx) const
+    {
+        return computedBy_.at(idx);
+    }
+
+  private:
+    void workerLoop(unsigned idx);
+
+    /** Claim-and-compute until the batch cursor runs dry. */
+    void drainBatch(unsigned lane, Event *const *events,
+                    std::size_t count);
+
+    const unsigned threads_;
+    Stats stats_;
+    std::vector<std::uint64_t> computedBy_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    /** Batch handoff (guarded by mu_; indices claimed via cursor_). */
+    Event *const *events_ = nullptr;
+    std::size_t count_ = 0;
+    std::atomic<std::size_t> cursor_{0};
+    std::size_t completed_ = 0;
+    std::uint64_t generation_ = 0;
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace latr
+
+#endif // LATR_SIM_PARALLEL_EXEC_HH_

@@ -80,7 +80,9 @@ AbisPolicy::onFreePages(FreeOpContext ctx, Tick start)
         AddressSpace *mm = ctx.mm;
         auto pages = std::move(ctx.pages);
         auto huge = std::move(ctx.hugePages);
-        env_.queue->scheduleLambda(free_at, [mm, pages, huge]() {
+        EventFootprint fp;
+        fp.writeGlobal(SimResource::FrameAllocator);
+        env_.queue->scheduleLambda(free_at, fp, [mm, pages, huge]() {
             for (const auto &page : pages)
                 mm->frames().put(page.second);
             for (const auto &page : huge)

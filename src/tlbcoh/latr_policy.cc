@@ -23,6 +23,7 @@ LatrPolicy::LatrPolicy(PolicyEnv env)
     for (auto &ring : rings_)
         ring.resize(env_.config->latrStatesPerCore);
     allocCursor_.assign(rings_.size(), 0);
+    plans_.resize(rings_.size());
 }
 
 PolicyCapabilities
@@ -102,8 +103,10 @@ LatrPolicy::onFreePages(FreeOpContext ctx, Tick start)
             AddressSpace *mm = ctx.mm;
             auto pages = std::move(ctx.pages);
             auto huge = std::move(ctx.hugePages);
+            EventFootprint fp;
+            fp.writeGlobal(SimResource::FrameAllocator);
             env_.queue->scheduleLambda(
-                start + wait, [mm, pages, huge]() {
+                start + wait, fp, [mm, pages, huge]() {
                     for (const auto &page : pages)
                         mm->frames().put(page.second);
                     for (const auto &page : huge)
@@ -262,6 +265,17 @@ LatrPolicy::touchSweepLlc(CoreId core, unsigned matches)
 void
 LatrPolicy::sweep(CoreId core, Tick now)
 {
+    // Consume this core's speculative plan one-shot: a plan is valid
+    // only for the exact tick it was computed for and only while no
+    // state has been published since (the LatrPublish epoch). A
+    // stale plan is simply dropped — the fresh scan below is always
+    // correct, the plan is purely an acceleration.
+    SweepPlan &plan = plans_[core];
+    const bool use_plan =
+        plan.valid && plan.forTick == now &&
+        plan.epoch == env_.queue->resourceEpoch(SimResource::LatrPublish);
+    plan.valid = false;
+
     sweepsCtr_.inc();
 
     if (fastpath_ && !pendingSweepers_.test(core)) {
@@ -279,11 +293,17 @@ LatrPolicy::sweep(CoreId core, Tick now)
     unsigned matches = 0;
     Tlb &tlb = env_.cores->tlbOf(core);
 
-    for (LatrState *state : active_) {
+    // One candidate's visit — identical whether the candidate came
+    // from the fresh active_ scan or from a validated plan. The
+    // leading phase/mask re-checks are what make the plan safe:
+    // earlier same-batch commits may have deactivated a candidate or
+    // (for migration states) already cleared its PTE, and the visit
+    // re-reads both.
+    auto visit = [&](LatrState *state) {
         if (state->phase != LatrStatePhase::Active)
-            continue;
+            return;
         if (!state->cpuMask.test(core))
-            continue;
+            return;
         ++matches;
 
         if (state->kind == LatrStateKind::Migration &&
@@ -313,6 +333,20 @@ LatrPolicy::sweep(CoreId core, Tick now)
         state->cpuMask.clear(core);
         if (state->cpuMask.empty())
             deactivate(state, now);
+    };
+
+    if (use_plan) {
+        // The plan is the subsequence of active_ that passed the
+        // phase/mask filter at plan time; no publish intervened
+        // (epoch check), so it is exactly the subsequence that would
+        // pass now — modulo members retired by earlier commits,
+        // which the visit's re-checks skip just like the fresh scan
+        // would.
+        for (LatrState *state : plan.candidates)
+            visit(state);
+    } else {
+        for (LatrState *state : active_)
+            visit(state);
     }
 
     // Compact: deactivated states left the Active phase.
@@ -339,9 +373,11 @@ LatrPolicy::sweep(CoreId core, Tick now)
 
     touchSweepLlc(core, matches);
 
-    // This full scan visited every active state and cleared this
-    // core's bit from each match, so nothing addresses the core
-    // anymore: drop it from the summary mask until the next publish.
+    // This sweep visited every active state addressing this core
+    // (the fresh scan trivially; a validated plan by the epoch
+    // argument) and cleared the core's bit from each match, so
+    // nothing addresses the core anymore: drop it from the summary
+    // mask until the next publish.
     pendingSweepers_.clear(core);
 }
 
@@ -371,7 +407,16 @@ LatrPolicy::scheduleReclaimPass(Tick eligible_at)
 {
     if (eligible_at < env_.queue->now())
         eligible_at = env_.queue->now();
-    env_.queue->scheduleLambda(eligible_at,
+    // A reclaim pass frees frames (FrameAllocator), retires ring
+    // slots that publishes may immediately reuse (LatrPublish), and
+    // releases held-back VA ranges of whichever address spaces the
+    // eligible states reference — unknown at schedule time, hence
+    // the all-spaces write.
+    EventFootprint fp;
+    fp.writeGlobal(SimResource::FrameAllocator);
+    fp.writeGlobal(SimResource::LatrPublish);
+    fp.writeAllSpaces();
+    env_.queue->scheduleLambda(eligible_at, fp,
                                [this, eligible_at]() {
                                    reclaimPass(eligible_at);
                                });
@@ -473,6 +518,46 @@ LatrPolicy::onContextSwitch(CoreId core, Tick now)
         return;
     if (env_.config->latrSweepAtContextSwitch)
         sweep(core, now);
+}
+
+void
+LatrPolicy::addTickFootprint(CoreId, EventFootprint &fp) const
+{
+    // The plan scans active_ and each state's phase/cpuMask; both
+    // change only at publish time (tracked by the LatrPublish
+    // epoch) or through sweep retirements, which are plan-preserving
+    // by the DESIGN.md §8 argument and so stay undeclared.
+    fp.readGlobal(SimResource::LatrPublish);
+}
+
+void
+LatrPolicy::planSchedulerTick(CoreId core, Tick tick)
+{
+    if (env_.config->injectSkipLatrSweep)
+        return;
+    SweepPlan &plan = plans_[core];
+    plan.candidates.clear();
+    if (!(fastpath_ && !pendingSweepers_.test(core))) {
+        for (LatrState *state : active_) {
+            if (state->phase == LatrStatePhase::Active &&
+                state->cpuMask.test(core))
+                plan.candidates.push_back(state);
+        }
+    }
+    plan.forTick = tick;
+    plan.epoch = env_.queue->resourceEpoch(SimResource::LatrPublish);
+    plan.valid = true;
+}
+
+bool
+LatrPolicy::tickPlanIsHeavy(CoreId core) const
+{
+    // The plan is worth a worker thread only when the sweep would
+    // actually walk active_: elided sweeps (summary-mask miss) and
+    // empty systems plan nothing.
+    if (active_.empty())
+        return false;
+    return !fastpath_ || pendingSweepers_.test(core);
 }
 
 StalenessContract

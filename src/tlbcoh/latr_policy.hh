@@ -100,6 +100,25 @@ class LatrPolicy : public TlbCoherencePolicy
     void onSchedulerTick(CoreId core, Tick now) override;
     void onContextSwitch(CoreId core, Tick now) override;
 
+    /// @name Parallel engine
+    /// @{
+
+    /** The sweep plan reads the publication state. */
+    void addTickFootprint(CoreId core, EventFootprint &fp) const override;
+
+    /**
+     * Pre-scan active_ for the states @p core's sweep will match:
+     * the read-only 80% of the sweep, hoisted onto worker threads.
+     * The commit revalidates each candidate (phase and mask bit)
+     * before acting, which makes the planned visit provably equal to
+     * a fresh scan — see DESIGN.md §8 for the argument.
+     */
+    void planSchedulerTick(CoreId core, Tick tick) override;
+
+    bool tickPlanIsHeavy(CoreId core) const override;
+
+    /// @}
+
     /// @name Introspection (tests, benches, memory accounting)
     /// @{
 
@@ -149,6 +168,23 @@ class LatrPolicy : public TlbCoherencePolicy
     /** The sweep's LLC state-block walk (matches + 1 lines). */
     void touchSweepLlc(CoreId core, unsigned matches);
 
+    /**
+     * One core's speculative sweep plan, filled by
+     * planSchedulerTick() (worker thread) and consumed by the next
+     * sweep() commit on that core. Valid only for the exact tick it
+     * was planned for and while the LatrPublish epoch is unchanged —
+     * anything else falls back to the fresh active_ scan, which is
+     * always correct. The candidates vector is reused tick to tick,
+     * so steady state allocates nothing.
+     */
+    struct SweepPlan
+    {
+        bool valid = false;
+        Tick forTick = 0;
+        std::uint64_t epoch = 0;
+        std::vector<LatrState *> candidates;
+    };
+
     std::vector<std::vector<LatrState>> rings_; // per core
     std::vector<LatrState *> active_;
     std::vector<LatrState *> pending_;
@@ -179,6 +215,8 @@ class LatrPolicy : public TlbCoherencePolicy
      * instead of a scan over every in-flight slot.
      */
     std::vector<unsigned> allocCursor_;
+    /** Per-core sweep plans (parallel engine; idle otherwise). */
+    std::vector<SweepPlan> plans_;
 };
 
 } // namespace latr

@@ -53,6 +53,22 @@ TlbCoherencePolicy::onContextSwitch(CoreId, Tick)
 {
 }
 
+void
+TlbCoherencePolicy::addTickFootprint(CoreId, EventFootprint &) const
+{
+}
+
+void
+TlbCoherencePolicy::planSchedulerTick(CoreId, Tick)
+{
+}
+
+bool
+TlbCoherencePolicy::tickPlanIsHeavy(CoreId) const
+{
+    return false;
+}
+
 CpuMask
 TlbCoherencePolicy::remoteTargets(AddressSpace *mm,
                                   CoreId initiator) const
@@ -122,7 +138,7 @@ TlbCoherencePolicy::ipiShootdown(AddressSpace *mm, CoreId initiator,
     };
 
     IpiBroadcastResult r = env_.ipi->broadcast(
-        initiator, targets, start, handler_cost, on_deliver);
+        initiator, targets, start, handler_cost, on_deliver, mm);
     if (TraceRecorder *t = tracer()) {
         const SpanId span = t->beginSpan(
             "coh", "coh.ipi_shootdown", start, initiator, mm->id(),

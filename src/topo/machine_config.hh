@@ -107,6 +107,19 @@ struct MachineConfig
     bool noFastpath = false;
     /// @}
 
+    /// @name Parallel engine
+    /// @{
+    /**
+     * Compute threads for the optimistic batched engine: 0 keeps the
+     * classic sequential event loop; N >= 1 runs batched dispatch
+     * with N compute lanes (the coordinator plus N-1 pinned
+     * workers). Any value yields byte-identical simulated results —
+     * commits always replay in sequential (tick, seq) order — so
+     * this is a host-speed knob, never a model change.
+     */
+    unsigned simThreads = 0;
+    /// @}
+
     /** All latency constants. */
     CostModel cost;
 

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * The optimistic parallel engine (sim/parallel_exec.{hh,cc}) must be
+ * invisible to the simulation: whatever the thread count, commits
+ * replay in exact (tick, seq) order and every digest, counter, and
+ * oracle verdict matches the classic sequential engine. These tests
+ * pin the batch dispatcher's protocol on a bare EventQueue — conflict
+ * serialization, barrier fallback, deschedule-mid-batch, interloper
+ * ordering — and then the end-to-end equivalence on generated and
+ * corpus scripts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/executor.hh"
+#include "check/fuzzer.hh"
+#include "check/script.hh"
+#include "machine/machine.hh"
+#include "os/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/parallel_exec.hh"
+
+#ifndef LATR_TEST_CORPUS_DIR
+#error "LATR_TEST_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace latr
+{
+namespace
+{
+
+/**
+ * A probe event for the dispatcher protocol: declares the footprint
+ * it is given, snapshots a shared int in compute(), snapshots it
+ * again in process(), and logs its identity into a shared order log.
+ */
+class ProbeEvent : public Event
+{
+  public:
+    ProbeEvent(int id, int *shared, std::vector<int> *order)
+        : id_(id), shared_(shared), order_(order)
+    {}
+
+    void declare(const EventFootprint &fp)
+    {
+        fp_ = fp;
+        declared_ = true;
+    }
+
+    bool
+    footprint(EventFootprint &fp) const override
+    {
+        if (!declared_)
+            return false;
+        fp = fp_;
+        return true;
+    }
+
+    void compute() override { computeSaw_ = *shared_; }
+
+    unsigned computeWeight() const override { return 1; }
+
+    void
+    process() override
+    {
+        commitSaw_ = *shared_;
+        *shared_ = id_;
+        order_->push_back(id_);
+        if (onProcess_)
+            onProcess_();
+    }
+
+    const char *name() const override { return "probe"; }
+
+    int computeSaw() const { return computeSaw_; }
+    int commitSaw() const { return commitSaw_; }
+
+    /** Extra commit-side action (deschedule a peer, schedule more). */
+    void onProcess(std::function<void()> fn) { onProcess_ = std::move(fn); }
+
+  private:
+    int id_;
+    int *shared_;
+    std::vector<int> *order_;
+    EventFootprint fp_;
+    bool declared_ = false;
+    int computeSaw_ = -1;
+    int commitSaw_ = -1;
+    std::function<void()> onProcess_;
+};
+
+EventFootprint
+coreWrite(CoreId core)
+{
+    EventFootprint fp;
+    fp.writeCore(core);
+    return fp;
+}
+
+/**
+ * Overlapping footprints must serialize: an event that declares a
+ * read of what an earlier same-tick event writes cannot join its
+ * batch, so its compute() already sees the earlier commit — and the
+ * commit order is (tick, seq) regardless.
+ */
+TEST(ParallelExec, OverlappingFootprintsSerializeInOrder)
+{
+    EventQueue q;
+    ParallelExecutor exec(4);
+    q.setParallelExecutor(&exec);
+
+    int shared = 0;
+    std::vector<int> order;
+    ProbeEvent writer(1, &shared, &order);
+    ProbeEvent reader(2, &shared, &order);
+    EventFootprint wfp;
+    wfp.writeGlobal(SimResource::FrameAllocator);
+    writer.declare(wfp);
+    EventFootprint rfp;
+    rfp.readGlobal(SimResource::FrameAllocator);
+    reader.declare(rfp);
+
+    q.schedule(&writer, 10);
+    q.schedule(&reader, 10);
+    q.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    // The reader conflicted with the open batch, so it ran in a later
+    // batch: its compute() observed the writer's committed value.
+    EXPECT_EQ(reader.computeSaw(), 1);
+    EXPECT_EQ(reader.commitSaw(), 1);
+}
+
+/**
+ * Disjoint footprints batch together: the later event's compute()
+ * runs before the earlier event's commit (it sees the pre-batch
+ * value), yet the commits still replay in (tick, seq) order.
+ */
+TEST(ParallelExec, DisjointFootprintsBatchButCommitInOrder)
+{
+    EventQueue q;
+    ParallelExecutor exec(4);
+    q.setParallelExecutor(&exec);
+
+    int shared = 0;
+    std::vector<int> order;
+    ProbeEvent a(1, &shared, &order);
+    ProbeEvent b(2, &shared, &order);
+    a.declare(coreWrite(0));
+    b.declare(coreWrite(1));
+
+    q.schedule(&a, 10);
+    q.schedule(&b, 10);
+    q.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    // Same batch: b's compute ran before a's commit.
+    EXPECT_EQ(b.computeSaw(), 0);
+    // But b's commit ran after a's, in seq order.
+    EXPECT_EQ(b.commitSaw(), 1);
+}
+
+/**
+ * An undeclared event is a barrier: it never joins a batch and runs
+ * inline, strictly in (tick, seq) order between its neighbors.
+ */
+TEST(ParallelExec, UndeclaredEventsForceSequentialFallback)
+{
+    EventQueue q;
+    ParallelExecutor exec(4);
+    q.setParallelExecutor(&exec);
+
+    int shared = 0;
+    std::vector<int> order;
+    ProbeEvent a(1, &shared, &order);
+    ProbeEvent barrier(2, &shared, &order); // never declares
+    ProbeEvent c(3, &shared, &order);
+    a.declare(coreWrite(0));
+    c.declare(coreWrite(1));
+
+    q.schedule(&a, 10);
+    q.schedule(&barrier, 10);
+    q.schedule(&c, 10);
+    q.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    // The barrier saw a's commit; c saw the barrier's.
+    EXPECT_EQ(barrier.commitSaw(), 1);
+    EXPECT_EQ(c.commitSaw(), 2);
+    EXPECT_EQ(exec.stats().barrierEvents, 1u);
+}
+
+/**
+ * An earlier commit may deschedule a later batch member; the stale
+ * member must be skipped exactly as the sequential engine would skip
+ * it, even though its compute() may already have run.
+ */
+TEST(ParallelExec, EarlierCommitDeschedulesLaterMember)
+{
+    EventQueue q;
+    ParallelExecutor exec(4);
+    q.setParallelExecutor(&exec);
+
+    int shared = 0;
+    std::vector<int> order;
+    ProbeEvent a(1, &shared, &order);
+    ProbeEvent victim(2, &shared, &order);
+    a.declare(coreWrite(0));
+    victim.declare(coreWrite(1)); // disjoint: same batch as a
+    a.onProcess([&]() { q.deschedule(&victim); });
+
+    q.schedule(&a, 10);
+    q.schedule(&victim, 10);
+    q.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_FALSE(victim.scheduled());
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+/**
+ * A commit that schedules new work at an earlier tick than the next
+ * batch member: the interloper must run before that member, exactly
+ * as the sequential engine interleaves it.
+ */
+TEST(ParallelExec, InterloperRunsBeforeLaterMember)
+{
+    EventQueue q;
+    ParallelExecutor exec(4);
+    q.setParallelExecutor(&exec);
+
+    int shared = 0;
+    std::vector<int> order;
+    ProbeEvent a(1, &shared, &order);
+    ProbeEvent b(2, &shared, &order);
+    a.declare(coreWrite(0));
+    b.declare(coreWrite(1)); // disjoint, later tick: same batch
+    a.onProcess([&]() {
+        q.scheduleLambda(15, [&order]() { order.push_back(99); });
+    });
+
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+    q.run();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 99, 2}));
+}
+
+/** The batched engine honors the run limit like the sequential one. */
+TEST(ParallelExec, RunLimitAdvancesNow)
+{
+    EventQueue q;
+    ParallelExecutor exec(2);
+    q.setParallelExecutor(&exec);
+
+    int shared = 0;
+    std::vector<int> order;
+    ProbeEvent late(1, &shared, &order);
+    late.declare(coreWrite(0));
+    q.schedule(&late, 1000);
+
+    EXPECT_EQ(q.run(100), 0u);
+    EXPECT_EQ(q.now(), 100u);
+    EXPECT_TRUE(late.scheduled());
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
+Script
+loadCorpus(const std::string &name)
+{
+    Script script;
+    std::string err;
+    const std::string path =
+        std::string(LATR_TEST_CORPUS_DIR) + "/" + name;
+    EXPECT_TRUE(loadScriptFile(path, &script, &err))
+        << path << ": " << err;
+    return script;
+}
+
+void
+expectEngineEquivalence(const Script &script, const char *label)
+{
+    for (PolicyKind kind : allPolicyKinds()) {
+        ExecOptions seq;
+        const RunResult base = runScript(script, kind, seq);
+        for (unsigned threads : {1u, 4u}) {
+            ExecOptions par;
+            par.simThreads = threads;
+            const RunResult run = runScript(script, kind, par);
+            const DiffResult diff = diffStates(base, run);
+            EXPECT_TRUE(diff.equivalent)
+                << label << " policy " << policyKindName(kind)
+                << " sim-threads " << threads << ": "
+                << diff.divergence;
+            EXPECT_EQ(base.invariantViolations, run.invariantViolations)
+                << label << " policy " << policyKindName(kind)
+                << " sim-threads " << threads;
+            EXPECT_EQ(base.stalenessViolations, run.stalenessViolations)
+                << label << " policy " << policyKindName(kind)
+                << " sim-threads " << threads;
+            EXPECT_EQ(base.latrFallbackIpis, run.latrFallbackIpis)
+                << label << " policy " << policyKindName(kind)
+                << " sim-threads " << threads;
+        }
+    }
+}
+
+/**
+ * Generated scripts on the commodity machine: the parallel engine at
+ * 1 and 4 threads must match the sequential engine on every
+ * architectural digest and oracle verdict, under all four policies.
+ */
+TEST(ParallelExecEquivalence, SmallMachineDigestsMatchSequential)
+{
+    for (std::uint64_t seed = 300; seed < 306; ++seed) {
+        GenOptions gen;
+        gen.numOps = 200;
+        gen.pcid = (seed & 1) != 0;
+        const Script script = generateScript(seed, gen);
+        expectEngineEquivalence(
+            script, ("seed " + std::to_string(seed)).c_str());
+    }
+}
+
+/** Same on the 8-socket/120-core machine (CpuMask word seams). */
+TEST(ParallelExecEquivalence, LargeMachineDigestsMatchSequential)
+{
+    for (std::uint64_t seed = 400; seed < 403; ++seed) {
+        GenOptions gen;
+        gen.numOps = 150;
+        gen.large = true;
+        gen.pcid = (seed & 1) != 0;
+        const Script script = generateScript(seed, gen);
+        expectEngineEquivalence(
+            script, ("large seed " + std::to_string(seed)).c_str());
+    }
+}
+
+/**
+ * The hand-written 120-core corpus scripts — the word-boundary and
+ * machine-wide sync-shootdown pins — must replay identically on the
+ * parallel engine.
+ */
+TEST(ParallelExecEquivalence, WordSeamCorpusMatchesSequential)
+{
+    for (const char *name : {"large_word_boundary.script",
+                             "large_sync_shootdown.script"}) {
+        Script script = loadCorpus(name);
+        ASSERT_FALSE(script.ops.empty());
+        expectEngineEquivalence(script, name);
+    }
+}
+
+/**
+ * White-box counter equality on a live machine: the threaded engine
+ * must produce the same sweep counts, sweep matches, and per-core
+ * stolen time as the sequential engine — the quantities the LATR
+ * sweep plan could most plausibly skew.
+ */
+TEST(ParallelExecEquivalence, LatrCountersMatchSequential)
+{
+    std::uint64_t sweeps[2];
+    std::uint64_t matches[2];
+    std::uint64_t stolen[2];
+    std::uint64_t events[2];
+    for (int mode = 0; mode < 2; ++mode) {
+        MachineConfig config = MachineConfig::largeNuma8S120C();
+        config.simThreads = mode == 1 ? 4 : 0;
+        Machine machine(config, PolicyKind::Latr);
+        Kernel &kernel = machine.kernel();
+        Process *proc = kernel.createProcess("pub");
+        Task *pub = kernel.spawnTask(proc, 0);
+        Process *fill = kernel.createProcess("fill");
+        for (CoreId c = 1; c < machine.topo().totalCores(); ++c)
+            kernel.spawnTask(fill, c);
+        SyscallResult m =
+            kernel.mmap(pub, 8 * kPageSize, kProtRead | kProtWrite);
+        ASSERT_TRUE(m.ok);
+        for (std::uint64_t pg = 0; pg < 8; ++pg)
+            kernel.touch(pub, m.addr + pg * kPageSize, true);
+        for (unsigned iter = 0; iter < 20; ++iter) {
+            kernel.numaSample(pub, m.addr / kPageSize + iter % 8);
+            machine.run(500 * kUsec);
+        }
+        sweeps[mode] = machine.stats().counterValue("latr.sweeps");
+        matches[mode] =
+            machine.stats().counterValue("latr.sweep_matches");
+        stolen[mode] = 0;
+        for (CoreId c = 0; c < machine.topo().totalCores(); ++c)
+            stolen[mode] += static_cast<std::uint64_t>(
+                kernel.scheduler().takeStolen(c));
+        events[mode] = machine.queue().executed();
+        EXPECT_GT(sweeps[mode], 1000u);
+    }
+    EXPECT_EQ(sweeps[0], sweeps[1]);
+    EXPECT_EQ(matches[0], matches[1]);
+    EXPECT_EQ(stolen[0], stolen[1]);
+    EXPECT_EQ(events[0], events[1]);
+}
+
+} // namespace
+} // namespace latr
