@@ -21,9 +21,10 @@
 //                  exist for.
 //
 // The machine scenarios run twice: on the classic sequential engine
-// and on the parallel batched engine (`--sim-threads=N`, default 4),
-// reported as munmap_storm / munmap_storm_tN and big_machine /
-// big_machine_tN. Both runs must execute the exact same event count
+// and on the parallel batched engine (`--sim-threads=N`, default 4;
+// `--pin-sim-threads` pins its workers to host CPUs for quiet-host
+// measurement), reported as munmap_storm / munmap_storm_tN and
+// big_machine / big_machine_tN. Both runs must execute the exact same event count
 // — the bench exits 3 if they diverge, a cheap standing equivalence
 // check on the parallel engine.
 //
@@ -183,7 +184,7 @@ runTlbChurn()
 
 ScenarioResult
 runMunmapStorm(const char *name, bool no_fastpath,
-               unsigned sim_threads)
+               unsigned sim_threads, bool pin_sim_threads)
 {
     std::uint64_t events = 0;
     double wall = 0;
@@ -192,6 +193,7 @@ runMunmapStorm(const char *name, bool no_fastpath,
         MachineConfig config = MachineConfig::commodity2S16C();
         config.noFastpath = no_fastpath;
         config.simThreads = sim_threads;
+        config.pinSimThreads = pin_sim_threads;
         Machine machine(config, policy);
         MunmapMicrobenchConfig cfg;
         cfg.sharingCores = 16;
@@ -224,7 +226,7 @@ runMunmapStorm(const char *name, bool no_fastpath,
  */
 ScenarioResult
 runBigMachine(const char *name, bool no_fastpath,
-              unsigned sim_threads)
+              unsigned sim_threads, bool pin_sim_threads)
 {
     constexpr unsigned kPublishers = 20;
     constexpr unsigned kIterations = 400;
@@ -238,6 +240,7 @@ runBigMachine(const char *name, bool no_fastpath,
         MachineConfig config = MachineConfig::largeNuma8S120C();
         config.noFastpath = no_fastpath;
         config.simThreads = sim_threads;
+        config.pinSimThreads = pin_sim_threads;
         // Tagged TLBs: context switches on the oversubscribed cores
         // must not flush residency, or the global mm's mask (and the
         // wide shootdown) degenerates.
@@ -380,6 +383,7 @@ main(int argc, char **argv)
     unsigned simThreads = bench::simThreadsFromArgs(argc, argv);
     if (simThreads == 0)
         simThreads = 4;
+    const bool pinSim = bench::pinSimThreadsFromArgs(argc, argv);
 
     const MachineConfig config = MachineConfig::commodity2S16C();
     bench::banner("Engine", "simulation-engine throughput", config);
@@ -394,6 +398,7 @@ main(int argc, char **argv)
     bench::JsonWriter json("Engine", "simulation-engine throughput");
     json.config("sim_threads", std::uint64_t{simThreads})
         .config("no_fastpath", std::uint64_t{noFastpath ? 1u : 0u})
+        .config("pin_sim_threads", std::uint64_t{pinSim ? 1u : 0u})
         .config("jobs", std::uint64_t{1});
 
     char threadedStorm[32], threadedBig[32];
@@ -409,12 +414,14 @@ main(int argc, char **argv)
     std::vector<ScenarioResult> results;
     results.push_back(runEventChurn());
     results.push_back(runTlbChurn());
-    results.push_back(runMunmapStorm("munmap_storm", noFastpath, 0));
     results.push_back(
-        runMunmapStorm(threadedStorm, noFastpath, simThreads));
-    results.push_back(runBigMachine("big_machine", noFastpath, 0));
+        runMunmapStorm("munmap_storm", noFastpath, 0, false));
+    results.push_back(runMunmapStorm(threadedStorm, noFastpath,
+                                     simThreads, pinSim));
     results.push_back(
-        runBigMachine(threadedBig, noFastpath, simThreads));
+        runBigMachine("big_machine", noFastpath, 0, false));
+    results.push_back(
+        runBigMachine(threadedBig, noFastpath, simThreads, pinSim));
 
     double stormEps = 0;
     double bigEps = 0;

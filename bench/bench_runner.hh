@@ -66,6 +66,23 @@ simThreadsFromArgs(int argc, char **argv)
 }
 
 /**
+ * `--pin-sim-threads` from the bench's argv: pin the parallel
+ * engine's worker threads to host CPUs
+ * (MachineConfig::pinSimThreads). Off by default so `--jobs` sweeps
+ * and concurrent shards don't stack every machine's workers on the
+ * same host cores; turn on for single-machine throughput runs on an
+ * idle host.
+ */
+inline bool
+pinSimThreadsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--pin-sim-threads") == 0)
+            return true;
+    return false;
+}
+
+/**
  * Collects closures returning R and runs them across a thread pool.
  * Results land in submission order regardless of completion order.
  */

@@ -13,7 +13,8 @@ Machine::Machine(MachineConfig config, PolicyKind policy_kind,
       kernel_(queue_, topo_, config_, frames_, sched_, stats_)
 {
     if (config_.simThreads > 0) {
-        exec_ = std::make_unique<ParallelExecutor>(config_.simThreads);
+        exec_ = std::make_unique<ParallelExecutor>(
+            config_.simThreads, config_.pinSimThreads);
         queue_.setParallelExecutor(exec_.get());
     }
 

@@ -38,6 +38,7 @@
 namespace latr
 {
 
+class ConflictTracker;
 class EventQueue;
 class ParallelExecutor;
 
@@ -197,6 +198,17 @@ class Event
      * plan scratch. process() must not depend on compute() having
      * run: a plan is an acceleration the commit validates and may
      * discard (the sequential engine never calls compute() at all).
+     *
+     * Any plan carried from compute() to process() MUST be validated
+     * at commit time against the EventQueue::resourceEpoch() of an
+     * epoch-tracked SimResource the footprint declares read, and
+     * discarded on mismatch. Core and address-space reads gate batch
+     * admission but carry no epoch of their own; the queue instead
+     * advances *every* resource epoch whenever a commit-phase
+     * interloper writes state the batch declared read, so an
+     * epoch-checked plan can never survive such a write — but a plan
+     * validated any other way (or derived from undeclared state)
+     * could, silently. See DESIGN.md §8.3.
      */
     virtual void compute() {}
 
@@ -425,9 +437,14 @@ class EventQueue
     /**
      * Dispatch the heap top inline (caller ran popStale()) and
      * advance the epochs its commit may have dirtied — all of them
-     * for an undeclared event.
+     * for an undeclared event, or for a declared one whose write set
+     * intersects @p batchReads (the open batch's accumulated read
+     * union; nullptr outside a commit phase). The latter is the
+     * interloper case: its writes were never admission-checked
+     * against the batch, so every plan a member speculated over that
+     * state must be invalidated.
      */
-    void dispatchInlineBatched();
+    void dispatchInlineBatched(const ConflictTracker *batchReads);
 
     void
     bumpEpochs(std::uint32_t globals)

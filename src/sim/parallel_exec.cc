@@ -14,10 +14,12 @@ namespace
  * Batch size cap. Bounds how far the dispatcher speculates past the
  * commit frontier (and therefore how much interloper scanning a
  * commit can owe); far above the handful of same-phase ticks a
- * machine produces, far below anything that would hurt.
+ * machine produces, far below anything that would hurt — and well
+ * under the executor's 2^16 claim-cursor field.
  */
 constexpr std::size_t kMaxBatch = 128;
 
+/** Pin the calling thread to host CPU @p lane mod the CPU count. */
 void
 pinToHostCpu(unsigned lane)
 {
@@ -35,8 +37,8 @@ pinToHostCpu(unsigned lane)
 }
 } // namespace
 
-ParallelExecutor::ParallelExecutor(unsigned threads)
-    : threads_(threads == 0 ? 1 : threads)
+ParallelExecutor::ParallelExecutor(unsigned threads, bool pinWorkers)
+    : threads_(threads == 0 ? 1 : threads), pinWorkers_(pinWorkers)
 {
     computedBy_.assign(threads_, 0);
     workers_.reserve(threads_ - 1);
@@ -58,20 +60,33 @@ ParallelExecutor::~ParallelExecutor()
 
 void
 ParallelExecutor::drainBatch(unsigned lane, Event *const *events,
-                             std::size_t count)
+                             std::size_t count, std::uint64_t gen)
 {
+    const std::uint64_t tag = gen << kCursorBits;
     std::size_t local = 0;
+    std::uint64_t t = ticket_.load(std::memory_order_acquire);
     for (;;) {
+        if ((t & ~kCursorMask) != tag)
+            break; // slept through a batch boundary: claim nothing
         const std::size_t idx =
-            cursor_.fetch_add(1, std::memory_order_relaxed);
+            static_cast<std::size_t>(t & kCursorMask);
         if (idx >= count)
             break;
+        if (!ticket_.compare_exchange_weak(t, t + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire))
+            continue; // lost the race; t reloaded by the CAS
         events[idx]->compute();
         ++local;
+        t = ticket_.load(std::memory_order_acquire);
     }
     if (local == 0)
         return; // claimed nothing: no completion to publish
     computedBy_[lane] += local;
+    // A successful tag-guarded claim belongs to the live batch, and
+    // the coordinator cannot retire that batch (completed_ == count)
+    // until every claimant publishes — so this contribution can never
+    // land on a later batch's completed_.
     std::lock_guard<std::mutex> lock(mu_);
     completed_ += local;
     if (completed_ == count)
@@ -81,7 +96,8 @@ ParallelExecutor::drainBatch(unsigned lane, Event *const *events,
 void
 ParallelExecutor::workerLoop(unsigned lane)
 {
-    pinToHostCpu(lane);
+    if (pinWorkers_)
+        pinToHostCpu(lane);
     std::uint64_t seen = 0;
     for (;;) {
         Event *const *events;
@@ -100,7 +116,10 @@ ParallelExecutor::workerLoop(unsigned lane)
             events = events_;
             count = count_;
         }
-        drainBatch(lane, events, count);
+        // The descriptor may be stale by the time the first claim is
+        // attempted (this thread can sleep arbitrarily long here);
+        // drainBatch's generation tag makes that harmless.
+        drainBatch(lane, events, count, seen);
     }
 }
 
@@ -118,16 +137,19 @@ ParallelExecutor::computeBatch(Event *const *events, std::size_t n,
         return;
     }
     ++stats_.parallelBatches;
+    std::uint64_t gen;
     {
         std::lock_guard<std::mutex> lock(mu_);
         events_ = events;
         count_ = n;
         completed_ = 0;
-        cursor_.store(0, std::memory_order_relaxed);
-        ++generation_;
+        gen = ++generation_;
+        // Re-tagging the ticket retires every outstanding claim
+        // ticket of the previous batch in the same store.
+        ticket_.store(gen << kCursorBits, std::memory_order_release);
     }
     wake_.notify_all();
-    drainBatch(0, events, n);
+    drainBatch(0, events, n, gen);
     std::unique_lock<std::mutex> lock(mu_);
     done_.wait(lock, [this] { return completed_ == count_; });
 }
@@ -154,7 +176,10 @@ ParallelExecutor::computeBatch(Event *const *events, std::size_t n,
  *      scheduled (an interloper — always a fresh, higher seq, so at
  *      a strictly earlier tick) is dispatched inline. After each
  *      commit the epochs of the globals the member declared written
- *      advance, invalidating plans speculated under older state.
+ *      advance, invalidating plans speculated under older state; an
+ *      interloper whose write set intersects the batch's read union
+ *      (its writes were never admission-checked) advances every
+ *      epoch, so no plan outlives state it changed.
  *
  * Every mutation of simulated state happens in step 3 (or in inline
  * barrier dispatches), in the same order the sequential engine would
@@ -179,8 +204,12 @@ EventQueue::runBatched(Tick limit)
 
         batch_.clear();
         batchEvents_.clear();
-        ConflictTracker tracker;
-        tracker.clear();
+        // The members' write union gates admission; their read union
+        // is what commit-phase interlopers are checked against.
+        ConflictTracker writeUnion;
+        ConflictTracker readUnion;
+        writeUnion.clear();
+        readUnion.clear();
         unsigned heavy = 0;
         for (;;) {
             popStale();
@@ -194,17 +223,18 @@ EventQueue::runBatched(Tick limit)
             if (!ev->footprint(scratchFp_)) {
                 if (batch_.empty()) {
                     // Barrier at the front: classic inline dispatch.
-                    dispatchInlineBatched();
+                    dispatchInlineBatched(nullptr);
                     ++stats.barrierEvents;
                     ++executed;
                     continue;
                 }
                 break;
             }
-            if (tracker.conflicts(scratchFp_))
+            if (writeUnion.readsIntersect(scratchFp_))
                 break;
             heap_.pop();
-            tracker.absorb(scratchFp_);
+            writeUnion.addWrites(scratchFp_);
+            readUnion.addReads(scratchFp_);
             batch_.push_back(BatchMember{
                 top, ev, scratchFp_.globalsWritten()});
             batchEvents_.push_back(ev);
@@ -229,7 +259,7 @@ EventQueue::runBatched(Tick limit)
                     (top.when == m.entry.when &&
                      top.seq > m.entry.seq))
                     break;
-                dispatchInlineBatched();
+                dispatchInlineBatched(&readUnion);
                 ++executed;
             }
             Slot &slot = slots_[m.entry.slot];
@@ -255,18 +285,27 @@ EventQueue::runBatched(Tick limit)
 }
 
 void
-EventQueue::dispatchInlineBatched()
+EventQueue::dispatchInlineBatched(const ConflictTracker *batchReads)
 {
     const Entry top = heap_.top();
     scratchFp_.clear();
     const bool declared =
         slots_[top.slot].event->footprint(scratchFp_);
     const std::uint32_t written = scratchFp_.globalsWritten();
+    // An interloper was admitted to no batch, so its writes were
+    // never conflict-checked against the members' read sets. If they
+    // land in the batch's read union, a member's plan may have been
+    // speculated over state this commit is about to change: advance
+    // every epoch so no such plan survives. (Declared global writes
+    // alone are covered by the ordinary per-resource bump.)
+    const bool intoBatchReads =
+        declared && batchReads &&
+        batchReads->writesIntersect(scratchFp_);
     dispatchTop();
-    if (declared)
-        bumpEpochs(written);
-    else
+    if (!declared || intoBatchReads)
         bumpAllEpochs();
+    else
+        bumpEpochs(written);
 }
 
 } // namespace latr

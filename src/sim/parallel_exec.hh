@@ -3,18 +3,23 @@
  * The optimistic parallel dispatch layer of the engine. Two pieces
  * live here:
  *
- *  - ConflictTracker: the accumulated write set of an open batch,
- *    against which each candidate event's declared read set is
- *    checked. Disjoint candidates join the batch; the first overlap
- *    (or undeclared event) ends it.
+ *  - ConflictTracker: a footprint set. The dispatcher keeps two per
+ *    batch: the members' write union (each candidate's declared read
+ *    set is checked against it; disjoint candidates join the batch,
+ *    the first overlap or undeclared event ends it) and the members'
+ *    read union (a commit-phase interloper writing into it
+ *    invalidates every cached plan).
  *
- *  - ParallelExecutor: a pinned worker pool that runs the read-only
- *    compute() phases of one batch concurrently. Each worker is
- *    pinned to a host CPU and keeps per-worker statistics — the
- *    local-acquire discipline NUMA-aware event pools use, applied to
- *    compute slots instead of allocations (the events themselves stay
- *    in the queue's freelist, which only the committing coordinator
- *    touches).
+ *  - ParallelExecutor: a worker pool that runs the read-only
+ *    compute() phases of one batch concurrently. Each worker keeps
+ *    per-worker statistics — the local-acquire discipline NUMA-aware
+ *    event pools use, applied to compute slots instead of
+ *    allocations (the events themselves stay in the queue's
+ *    freelist, which only the committing coordinator touches) — and
+ *    is optionally pinned to a host CPU (pinWorkers; off by default
+ *    so concurrent machines don't stack on the same cores, and never
+ *    applied to the coordinating thread, which belongs to the
+ *    caller).
  *
  * The batched run loop itself is EventQueue::runBatched(), defined in
  * parallel_exec.cc next to these helpers: it pops a contiguous
@@ -45,13 +50,22 @@ namespace latr
 {
 
 /**
- * The union of the write footprints of every event admitted to the
- * open batch. A candidate conflicts iff its *read* set intersects
- * this write union: with all computes running before the first
- * commit, a later member's compute observing state an earlier
- * member's commit will change is the only ordering hazard the
- * protocol leaves open. Commit/commit overlap is serialized by the
- * (tick, seq) replay and read/read overlap is harmless.
+ * A set of cores, address spaces, and global resources accumulated
+ * from event footprints. The dispatcher keeps two per batch:
+ *
+ *  - the members' *write* union, checked against each candidate's
+ *    read set at admission. With all computes running before the
+ *    first commit, a later member's compute observing state an
+ *    earlier member's commit will change is the only ordering hazard
+ *    the protocol leaves open — commit/commit overlap is serialized
+ *    by the (tick, seq) replay and read/read overlap is harmless;
+ *
+ *  - the members' *read* union, checked against each commit-phase
+ *    interloper's write set. Interlopers are dispatched after batch
+ *    admission, so their writes were never conflict-checked; one
+ *    that lands in the batch's read union forces every resource
+ *    epoch forward so no cached plan survives it (see
+ *    EventQueue::dispatchInlineBatched()).
  */
 class ConflictTracker
 {
@@ -61,19 +75,19 @@ class ConflictTracker
     void
     clear()
     {
-        coresWritten_.reset();
-        globalsWritten_ = 0;
+        cores_.reset();
+        globals_ = 0;
         nSpaces_ = 0;
         allSpaces_ = false;
     }
 
-    /** Does @p fp's read set intersect the accumulated write set? */
+    /** Does @p fp's read set intersect the accumulated set? */
     bool
-    conflicts(const EventFootprint &fp) const
+    readsIntersect(const EventFootprint &fp) const
     {
-        if (globalsWritten_ & fp.globalsRead())
+        if (globals_ & fp.globalsRead())
             return true;
-        CpuMask overlap = coresWritten_;
+        CpuMask overlap = cores_;
         overlap.andWith(fp.coresRead());
         if (!overlap.empty())
             return true;
@@ -90,35 +104,70 @@ class ConflictTracker
         return false;
     }
 
-    /** Fold @p fp's write set into the accumulated union. */
-    void
-    absorb(const EventFootprint &fp)
+    /** Does @p fp's write set intersect the accumulated set? */
+    bool
+    writesIntersect(const EventFootprint &fp) const
     {
-        coresWritten_.orWith(fp.coresWritten());
-        globalsWritten_ |= fp.globalsWritten();
+        if (globals_ & fp.globalsWritten())
+            return true;
+        CpuMask overlap = cores_;
+        overlap.andWith(fp.coresWritten());
+        if (!overlap.empty())
+            return true;
+        const bool writesAny =
+            fp.allSpacesWritten() || fp.spacesWritten() > 0;
+        if (allSpaces_ && writesAny)
+            return true;
+        if (fp.allSpacesWritten() && nSpaces_ > 0)
+            return true;
+        for (unsigned i = 0; i < fp.spacesWritten(); ++i)
+            for (unsigned j = 0; j < nSpaces_; ++j)
+                if (fp.spaceWritten(i) == spaces_[j])
+                    return true;
+        return false;
+    }
+
+    /** Fold @p fp's write set into the accumulated set. */
+    void
+    addWrites(const EventFootprint &fp)
+    {
+        cores_.orWith(fp.coresWritten());
+        globals_ |= fp.globalsWritten();
         if (fp.allSpacesWritten())
             allSpaces_ = true;
-        if (allSpaces_)
-            return;
-        for (unsigned i = 0; i < fp.spacesWritten(); ++i) {
-            const void *mm = fp.spaceWritten(i);
-            bool known = false;
-            for (unsigned j = 0; j < nSpaces_; ++j)
-                if (spaces_[j] == mm)
-                    known = true;
-            if (known)
-                continue;
-            if (nSpaces_ == kMaxSpaces) {
-                allSpaces_ = true;
-                return;
-            }
-            spaces_[nSpaces_++] = mm;
-        }
+        for (unsigned i = 0; !allSpaces_ && i < fp.spacesWritten();
+             ++i)
+            addSpace(fp.spaceWritten(i));
+    }
+
+    /** Fold @p fp's read set into the accumulated set. */
+    void
+    addReads(const EventFootprint &fp)
+    {
+        cores_.orWith(fp.coresRead());
+        globals_ |= fp.globalsRead();
+        if (fp.allSpacesRead())
+            allSpaces_ = true;
+        for (unsigned i = 0; !allSpaces_ && i < fp.spacesRead(); ++i)
+            addSpace(fp.spaceRead(i));
     }
 
   private:
-    CpuMask coresWritten_;
-    std::uint32_t globalsWritten_ = 0;
+    void
+    addSpace(const void *mm)
+    {
+        for (unsigned j = 0; j < nSpaces_; ++j)
+            if (spaces_[j] == mm)
+                return;
+        if (nSpaces_ == kMaxSpaces) {
+            allSpaces_ = true;
+            return;
+        }
+        spaces_[nSpaces_++] = mm;
+    }
+
+    CpuMask cores_;
+    std::uint32_t globals_ = 0;
     const void *spaces_[kMaxSpaces] = {};
     unsigned nSpaces_ = 0;
     bool allSpaces_ = false;
@@ -126,7 +175,7 @@ class ConflictTracker
 
 /**
  * The compute worker pool: @p threads total compute lanes, i.e. the
- * coordinating thread plus threads-1 pinned workers. A pool of one
+ * coordinating thread plus threads-1 workers. A pool of one
  * spawns no threads and runs every compute inline; larger pools
  * offload a batch only when it contains at least two nontrivial
  * computes (Event::computeWeight()), so machines whose batches are
@@ -144,7 +193,17 @@ class ParallelExecutor
         std::uint64_t barrierEvents = 0;   ///< undeclared inline dispatches
     };
 
-    explicit ParallelExecutor(unsigned threads);
+    /**
+     * @param threads total compute lanes.
+     * @param pinWorkers pin worker lane k to host CPU k (mod the
+     *   host's CPU count). Off by default: concurrent executors —
+     *   `--jobs` sweeps, parallel test shards — would stack every
+     *   machine's workers on the same low-numbered CPUs. The
+     *   coordinator (lane 0) is never pinned; that thread belongs to
+     *   the caller.
+     */
+    explicit ParallelExecutor(unsigned threads,
+                              bool pinWorkers = false);
 
     ~ParallelExecutor();
 
@@ -174,23 +233,42 @@ class ParallelExecutor
     }
 
   private:
+    /** Low bits of ticket_ holding the claim cursor. */
+    static constexpr unsigned kCursorBits = 16;
+    static constexpr std::uint64_t kCursorMask =
+        (std::uint64_t{1} << kCursorBits) - 1;
+
     void workerLoop(unsigned idx);
 
-    /** Claim-and-compute until the batch cursor runs dry. */
+    /**
+     * Claim-and-compute until the cursor runs dry or the ticket's
+     * generation tag stops matching @p gen (the batch this caller
+     * was handed is over).
+     */
     void drainBatch(unsigned lane, Event *const *events,
-                    std::size_t count);
+                    std::size_t count, std::uint64_t gen);
 
     const unsigned threads_;
+    const bool pinWorkers_;
     Stats stats_;
     std::vector<std::uint64_t> computedBy_;
 
     std::mutex mu_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    /** Batch handoff (guarded by mu_; indices claimed via cursor_). */
+    /** Batch handoff (guarded by mu_; indices claimed via ticket_). */
     Event *const *events_ = nullptr;
     std::size_t count_ = 0;
-    std::atomic<std::size_t> cursor_{0};
+    /**
+     * Generation-tagged claim ticket: bits [kCursorBits, 64) are the
+     * (truncated) batch generation, bits [0, kCursorBits) the next
+     * unclaimed index. Claims go through a CAS that the tag guards,
+     * so a worker that slept through a batch boundary — descriptor
+     * snapshot in hand, first claim not yet made — can never claim
+     * indices, run computes, or grow completed_ against a batch
+     * other than the one it was woken for.
+     */
+    std::atomic<std::uint64_t> ticket_{0};
     std::size_t completed_ = 0;
     std::uint64_t generation_ = 0;
     bool stop_ = false;

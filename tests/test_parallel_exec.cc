@@ -249,6 +249,106 @@ TEST(ParallelExec, InterloperRunsBeforeLaterMember)
     EXPECT_EQ(order, (std::vector<int>{1, 99, 2}));
 }
 
+/**
+ * An interloper whose commit writes state the batch declared read
+ * was admitted to no batch, so its writes were never conflict-checked
+ * against the members: the queue must advance every resource epoch,
+ * ensuring no epoch-validated plan survives it. An interloper whose
+ * writes miss the batch's read union must leave unrelated epochs
+ * alone (only its own declared global writes bump).
+ */
+TEST(ParallelExec, InterloperWriteIntoBatchReadsInvalidatesPlans)
+{
+    for (const bool overlapping : {false, true}) {
+        EventQueue q;
+        ParallelExecutor exec(4);
+        q.setParallelExecutor(&exec);
+
+        int shared = 0;
+        std::vector<int> order;
+        ProbeEvent a(1, &shared, &order);
+        ProbeEvent b(2, &shared, &order);
+        a.declare(coreWrite(0));
+        EventFootprint bfp;
+        bfp.writeCore(1);
+        bfp.readCore(5);
+        b.declare(bfp);
+        // a's commit schedules an interloper (tick 15 < b's 20)
+        // whose commit writes either the core b declared read or an
+        // unrelated one. Neither declares any global write.
+        a.onProcess([&q, overlapping]() {
+            EventFootprint ifp;
+            ifp.writeCore(overlapping ? 5 : 99);
+            q.scheduleLambda(15, ifp, []() {});
+        });
+        q.schedule(&a, 10);
+        q.schedule(&b, 20);
+
+        const std::uint64_t before =
+            q.resourceEpoch(SimResource::LatrPublish);
+        q.run();
+        const std::uint64_t bumps =
+            q.resourceEpoch(SimResource::LatrPublish) - before;
+        EXPECT_EQ(order, (std::vector<int>{1, 2}));
+        // run() entry always invalidates once; only the interloper
+        // that writes into the batch's read union adds the
+        // conservative bump-everything on top.
+        EXPECT_EQ(bumps, overlapping ? 2u : 1u)
+            << (overlapping ? "overlapping" : "disjoint");
+    }
+}
+
+/**
+ * Many small back-to-back parallel batches — the regression shape
+ * for the executor's generation-tagged claim ticket. A worker that
+ * wakes late for batch N must never claim (or count completions
+ * against) batch N+1: under the old bare-cursor claim that could
+ * corrupt computes or deadlock the coordinator; here every commit
+ * must land in exact (tick, seq) order and every compute run exactly
+ * once. Each tick ends with a reader of every written core, closing
+ * the batch so the run crosses hundreds of batch boundaries.
+ */
+TEST(ParallelExec, BackToBackBatchesKeepClaimsInGeneration)
+{
+    constexpr int kTicks = 400;
+    constexpr int kWriters = 8;
+
+    EventQueue q;
+    ParallelExecutor exec(4);
+    q.setParallelExecutor(&exec);
+
+    int shared = 0;
+    std::vector<int> order;
+    std::vector<ProbeEvent> probes;
+    probes.reserve(kTicks * (kWriters + 1));
+    int id = 0;
+    for (int t = 0; t < kTicks; ++t) {
+        for (int i = 0; i < kWriters; ++i) {
+            probes.emplace_back(id++, &shared, &order);
+            probes.back().declare(
+                coreWrite(static_cast<CoreId>(i)));
+            q.schedule(&probes.back(), 10 + t);
+        }
+        EventFootprint closer;
+        closer.writeCore(static_cast<CoreId>(kWriters));
+        for (int i = 0; i < kWriters; ++i)
+            closer.readCore(static_cast<CoreId>(i));
+        probes.emplace_back(id++, &shared, &order);
+        probes.back().declare(closer);
+        q.schedule(&probes.back(), 10 + t);
+    }
+    q.run();
+
+    ASSERT_EQ(order.size(), static_cast<std::size_t>(id));
+    for (int i = 0; i < id; ++i)
+        EXPECT_EQ(order[i], i);
+    std::uint64_t computed = 0;
+    for (unsigned lane = 0; lane < exec.threads(); ++lane)
+        computed += exec.computedBy(lane);
+    EXPECT_EQ(computed, static_cast<std::uint64_t>(id));
+    EXPECT_GT(exec.stats().parallelBatches, 100u);
+}
+
 /** The batched engine honors the run limit like the sequential one. */
 TEST(ParallelExec, RunLimitAdvancesNow)
 {
