@@ -1,0 +1,276 @@
+// bench_serve: the open-loop serving scenario (src/serve/) across
+// every coherence policy — the tail-latency figure the paper leads
+// with. One .latrace arrival stream is generated once (seeded, so
+// byte-stable) and replayed against all four policies; the rows
+// report p50/p99/p999 request latency, completed requests/s, and the
+// run digest.
+//
+// The LATR and Linux rows also run on the parallel batched engine
+// (`--sim-threads=N`, default 4) as serve_latr_tN / serve_linux_tN.
+// Simulated results must be byte-identical to the sequential rows —
+// the bench exits 3 if a digest diverges, a standing record/replay +
+// parallel-engine equivalence check.
+//
+// `--json=FILE` writes the rows in the shared BENCH_*.json shape.
+// `--check-against=BASELINE.json` exits nonzero when a policy's p99
+// grows more than --max-regression (default 0.30) above the
+// baseline, or when a baseline scenario is missing from the run —
+// the CI tail-latency gate. Unlike the wall-clock gates, these rows
+// are simulated time: deterministic on one build, immune to host
+// noise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_runner.hh"
+#include "bench_util.hh"
+#include "machine/machine.hh"
+#include "serve/latrace.hh"
+#include "serve/serve.hh"
+#include "tlbcoh/policy.hh"
+
+using namespace latr;
+
+namespace
+{
+
+struct ServeRow
+{
+    std::string name;
+    PolicyKind kind;
+    unsigned simThreads;
+    ServeResult result;
+};
+
+ServeRow
+runPolicy(const std::string &name, PolicyKind kind,
+          unsigned sim_threads, bool pin, const Latrace &trace)
+{
+    MachineConfig config = MachineConfig::commodity2S16C();
+    config.simThreads = sim_threads;
+    config.pinSimThreads = pin;
+    Machine machine(config, kind);
+    ServeRow row{name, kind, sim_threads,
+                 runServeTrace(machine, trace)};
+    return row;
+}
+
+/** (scenario, p99_us) rows of an earlier BENCH_serve.json. */
+std::vector<std::pair<std::string, double>>
+baselineScenarios(const std::string &path)
+{
+    std::vector<std::pair<std::string, double>> out;
+    std::ifstream in(path);
+    if (!in)
+        return out;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    std::size_t at = 0;
+    while ((at = text.find("\"scenario\": \"", at)) !=
+           std::string::npos) {
+        at += 13;
+        const std::size_t end = text.find('"', at);
+        if (end == std::string::npos)
+            break;
+        const std::string name = text.substr(at, end - at);
+        const std::size_t p99 = text.find("\"p99_us\":", end);
+        if (p99 == std::string::npos)
+            break;
+        out.emplace_back(
+            name, std::strtod(text.c_str() + p99 + 9, nullptr));
+        at = end;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string checkAgainst;
+    double maxRegression = 0.30;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--check-against=", 16) == 0)
+            checkAgainst = argv[i] + 16;
+        else if (std::strncmp(argv[i], "--max-regression=", 17) == 0)
+            maxRegression = std::atof(argv[i] + 17);
+    }
+    if (maxRegression > 1.0)
+        maxRegression /= 100.0;
+    unsigned simThreads = bench::simThreadsFromArgs(argc, argv);
+    if (simThreads == 0)
+        simThreads = 4;
+    const bool pinSim = bench::pinSimThreadsFromArgs(argc, argv);
+
+    const MachineConfig config = MachineConfig::commodity2S16C();
+    bench::banner("Serve",
+                  "open-loop serving tail latency (src/serve/)",
+                  config);
+    bench::paperExpectation(
+        "lazy shootdowns keep request tails flat where synchronous "
+        "IPIs compound into queueing delay (figure 1 regime)");
+    bench::rule();
+
+    const ServeConfig scenario; // the default open-loop scenario
+    const Latrace trace = generateServeTrace(scenario);
+    std::printf("scenario: %.0f req/s for %llu ms, %u workers, "
+                "%u tenants, %llu ops\n",
+                scenario.arrivalRatePerSec,
+                static_cast<unsigned long long>(scenario.duration /
+                                                kMsec),
+                scenario.workers, scenario.tenants,
+                static_cast<unsigned long long>(trace.records.size()));
+    bench::rule();
+    std::printf("%-16s | %9s %9s %9s | %10s\n", "scenario",
+                "p50_us", "p99_us", "p999_us", "req/s");
+    bench::rule();
+
+    char latrT[32], linuxT[32];
+    std::snprintf(latrT, sizeof latrT, "serve_latr_t%u", simThreads);
+    std::snprintf(linuxT, sizeof linuxT, "serve_linux_t%u",
+                  simThreads);
+
+    std::vector<ServeRow> rows;
+    rows.push_back(
+        runPolicy("serve_linux", PolicyKind::LinuxSync, 0, false,
+                  trace));
+    rows.push_back(
+        runPolicy("serve_latr", PolicyKind::Latr, 0, false, trace));
+    rows.push_back(
+        runPolicy("serve_abis", PolicyKind::Abis, 0, false, trace));
+    rows.push_back(runPolicy("serve_barrelfish",
+                             PolicyKind::Barrelfish, 0, false,
+                             trace));
+    rows.push_back(runPolicy(linuxT, PolicyKind::LinuxSync,
+                             simThreads, pinSim, trace));
+    rows.push_back(
+        runPolicy(latrT, PolicyKind::Latr, simThreads, pinSim, trace));
+
+    bench::JsonWriter json(
+        "Serve", "open-loop serving tail latency (src/serve/)");
+    json.config("sim_threads", std::uint64_t{simThreads})
+        .config("arrival_rate",
+                static_cast<std::uint64_t>(
+                    scenario.arrivalRatePerSec))
+        .config("duration_ticks",
+                static_cast<std::uint64_t>(scenario.duration))
+        .config("workers", std::uint64_t{scenario.workers})
+        .config("tenants", std::uint64_t{scenario.tenants})
+        .config("seed", scenario.seed)
+        .config("jobs", std::uint64_t{1});
+
+    double linuxP99 = 0;
+    double latrP99 = 0;
+    for (const ServeRow &row : rows) {
+        const ServeResult &r = row.result;
+        std::printf("%-16s | %9.1f %9.1f %9.1f | %10.0f\n",
+                    row.name.c_str(), bench::us(r.p50()),
+                    bench::us(r.p99()), bench::us(r.p999()),
+                    r.requestsPerSec);
+        char digest[24];
+        std::snprintf(digest, sizeof digest, "%016llx",
+                      static_cast<unsigned long long>(r.digest));
+        json.row()
+            .str("scenario", row.name)
+            .num("p50_us", bench::us(r.p50()))
+            .num("p99_us", bench::us(r.p99()))
+            .num("p999_us", bench::us(r.p999()))
+            .num("mean_us", r.latency.mean() / 1000.0)
+            .num("requests_per_sec", r.requestsPerSec)
+            .num("shootdowns_per_sec", r.shootdownsPerSec)
+            .num("completed", r.completed)
+            .num("dropped_churn", r.droppedChurn)
+            .str("digest", digest);
+        if (row.name == "serve_linux")
+            linuxP99 = bench::us(r.p99());
+        else if (row.name == "serve_latr")
+            latrP99 = bench::us(r.p99());
+    }
+    bench::rule();
+
+    // The standing equivalence check: the threaded rows replay the
+    // same trace and must digest identically to their sequential
+    // twins — record/replay and the parallel engine are both
+    // model-preserving or this bench refuses to report.
+    for (const ServeRow &row : rows) {
+        if (row.simThreads == 0)
+            continue;
+        for (const ServeRow &base : rows) {
+            if (base.simThreads == 0 && base.kind == row.kind &&
+                base.result.digest != row.result.digest) {
+                std::fprintf(
+                    stderr,
+                    "bench_serve: %s digest %016llx != %s digest "
+                    "%016llx — the parallel engine changed the "
+                    "simulation\n",
+                    row.name.c_str(),
+                    static_cast<unsigned long long>(
+                        row.result.digest),
+                    base.name.c_str(),
+                    static_cast<unsigned long long>(
+                        base.result.digest));
+                return 3;
+            }
+        }
+    }
+
+    bench::measuredHeadline(
+        "LATR p99 %.1f us vs Linux p99 %.1f us (%.1fx)", latrP99,
+        linuxP99, latrP99 > 0 ? linuxP99 / latrP99 : 0.0);
+    json.headline("LATR p99 %.1f us vs Linux p99 %.1f us (%.1fx)",
+                  latrP99, linuxP99,
+                  latrP99 > 0 ? linuxP99 / latrP99 : 0.0);
+    json.write(bench::jsonPathFromArgs(argc, argv));
+
+    if (!checkAgainst.empty()) {
+        const auto baseline = baselineScenarios(checkAgainst);
+        if (baseline.empty()) {
+            std::fprintf(stderr,
+                         "bench_serve: cannot read any scenario rows "
+                         "from baseline '%s'\n",
+                         checkAgainst.c_str());
+            return 2;
+        }
+        bool failed = false;
+        for (const auto &base : baseline) {
+            const ServeRow *measured = nullptr;
+            for (const ServeRow &row : rows)
+                if (base.first == row.name)
+                    measured = &row;
+            if (!measured) {
+                std::fprintf(
+                    stderr,
+                    "bench_serve: baseline scenario '%s' missing "
+                    "from this run (have:",
+                    base.first.c_str());
+                for (const ServeRow &row : rows)
+                    std::fprintf(stderr, " %s", row.name.c_str());
+                std::fprintf(stderr,
+                             "); re-run with matching --sim-threads "
+                             "or refresh the baseline\n");
+                return 2;
+            }
+            // Tail latency gates upward: regression = p99 above the
+            // baseline's ceiling.
+            const double ceiling =
+                base.second * (1.0 + maxRegression);
+            const double got = bench::us(measured->result.p99());
+            std::printf("tail gate [%s]: p99 %.1f us vs baseline "
+                        "%.1f (ceiling %.1f): %s\n",
+                        base.first.c_str(), got, base.second, ceiling,
+                        got <= ceiling ? "ok" : "REGRESSION");
+            if (got > ceiling)
+                failed = true;
+        }
+        if (failed)
+            return 1;
+    }
+    return 0;
+}

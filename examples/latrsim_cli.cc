@@ -6,6 +6,9 @@
 //   latrsim_cli --workload=microbench --policy=linux --cores=16
 //   latrsim_cli --workload=parsec --benchmark=dedup --policy=abis
 //   latrsim_cli --workload=numa --benchmark=graph500 --policy=latr
+//   latrsim_cli --workload=serve --arrival-rate=200000 \
+//       --duration-ticks=120000000 --record=run.latrace
+//   latrsim_cli --workload=serve --replay=run.latrace --policy=linux
 //
 // Prints the headline metrics plus the machine's stat dump with
 // --stats.
@@ -16,6 +19,8 @@
 #include <string>
 
 #include "machine/machine.hh"
+#include "serve/latrace.hh"
+#include "serve/serve.hh"
 #include "sim/logging.hh"
 #include "machine/machine_stats.hh"
 #include "trace/chrome_trace.hh"
@@ -39,6 +44,16 @@ struct Options
     unsigned workers = 12;
     unsigned cores = 16;
     std::uint64_t pages = 1;
+    // serve workload (src/serve/): open-loop scenario knobs.
+    Tick durationTicks = 0;     // 0 = ServeConfig default
+    double arrivalRate = 0.0;   // 0 = ServeConfig default
+    unsigned tenants = 0;       // 0 = ServeConfig default
+    std::uint64_t users = 0;    // 0 = ServeConfig default
+    Duration churnInterval = kTickNever; // kTickNever = default
+    std::uint64_t seed = 1;
+    unsigned simThreads = 0;
+    std::string recordPath; // write the generated .latrace here
+    std::string replayPath; // replay this .latrace instead
     bool noFastpath = false;
     bool dumpStats = false;
     std::string tracePath;     // chrome://tracing / Perfetto JSON
@@ -52,13 +67,24 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [options]\n"
-        "  --workload=apache|nginx|microbench|parsec|numa\n"
+        "  --workload=apache|nginx|microbench|parsec|numa|serve\n"
         "  --policy=linux|latr|abis|barrelfish\n"
         "  --machine=commodity|large\n"
         "  --benchmark=<parsec or numa benchmark name>\n"
-        "  --workers=N   (apache/nginx serving cores)\n"
+        "  --workers=N   (apache/nginx/serve serving cores)\n"
         "  --cores=N     (microbench/parsec/numa cores)\n"
         "  --pages=N     (microbench pages per munmap)\n"
+        "serve workload (open-loop, tail latency; src/serve/):\n"
+        "  --duration-ticks=N  (arrival horizon in simulated ns)\n"
+        "  --arrival-rate=N    (mean requests per simulated second)\n"
+        "  --tenants=N         (tenant slots, one process each)\n"
+        "  --users=N           (simulated user population)\n"
+        "  --churn-interval=N  (ns between tenant exits; 0 = off)\n"
+        "  --seed=N            (arrival-stream RNG seed)\n"
+        "  --sim-threads=N     (parallel engine worker threads)\n"
+        "  --record=FILE       (save the generated .latrace)\n"
+        "  --replay=FILE       (replay FILE instead of generating;\n"
+        "                       byte-identical results per policy)\n"
         "  --no-fastpath (naive engine paths; results must match)\n"
         "  --stats       (dump the full stat registry)\n"
         "  --trace=FILE      (write Chrome-trace JSON; load in\n"
@@ -92,6 +118,24 @@ parseArg(Options &opts, const char *arg)
         opts.cores = static_cast<unsigned>(std::atoi(v));
     } else if (const char *v = value("--pages")) {
         opts.pages = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char *v = value("--duration-ticks")) {
+        opts.durationTicks = static_cast<Tick>(std::atoll(v));
+    } else if (const char *v = value("--arrival-rate")) {
+        opts.arrivalRate = std::atof(v);
+    } else if (const char *v = value("--tenants")) {
+        opts.tenants = static_cast<unsigned>(std::atoi(v));
+    } else if (const char *v = value("--users")) {
+        opts.users = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char *v = value("--churn-interval")) {
+        opts.churnInterval = static_cast<Duration>(std::atoll(v));
+    } else if (const char *v = value("--seed")) {
+        opts.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char *v = value("--sim-threads")) {
+        opts.simThreads = static_cast<unsigned>(std::atoi(v));
+    } else if (const char *v = value("--record")) {
+        opts.recordPath = v;
+    } else if (const char *v = value("--replay")) {
+        opts.replayPath = v;
     } else if (const char *v = value("--trace")) {
         opts.tracePath = v;
     } else if (const char *v = value("--trace-text")) {
@@ -147,6 +191,7 @@ main(int argc, char **argv)
 
     MachineConfig config = machineOf(opts.machine);
     config.noFastpath = opts.noFastpath;
+    config.simThreads = opts.simThreads;
     Machine machine(config, policyOf(opts.policy));
     if (!opts.tracePath.empty() || !opts.traceTextPath.empty()) {
         if (opts.traceCapacity != 0)
@@ -184,6 +229,51 @@ main(int argc, char **argv)
             machine, parsecProfile(opts.benchmark), opts.cores);
         std::printf("runtime:       %.2f ms\n", r.runtimeNs / 1e6);
         std::printf("shootdowns/s:  %.0f\n", r.shootdownsPerSec);
+    } else if (opts.workload == "serve") {
+        Latrace trace;
+        if (!opts.replayPath.empty()) {
+            std::string error;
+            if (!latraceLoad(opts.replayPath, &trace, &error))
+                fatal("cannot replay '%s': %s",
+                      opts.replayPath.c_str(), error.c_str());
+        } else {
+            ServeConfig cfg;
+            cfg.workers = opts.workers;
+            if (opts.durationTicks)
+                cfg.duration = opts.durationTicks;
+            if (opts.arrivalRate > 0.0)
+                cfg.arrivalRatePerSec = opts.arrivalRate;
+            if (opts.tenants)
+                cfg.tenants = opts.tenants;
+            if (opts.users)
+                cfg.users = opts.users;
+            if (opts.churnInterval != kTickNever)
+                cfg.churnInterval = opts.churnInterval;
+            cfg.seed = opts.seed;
+            trace = generateServeTrace(cfg);
+        }
+        if (!opts.recordPath.empty()) {
+            if (!latraceSave(trace, opts.recordPath))
+                fatal("cannot record to '%s'",
+                      opts.recordPath.c_str());
+            std::fprintf(stderr, "recorded %llu ops -> %s\n",
+                         static_cast<unsigned long long>(
+                             trace.records.size()),
+                         opts.recordPath.c_str());
+        }
+        ServeResult r = runServeTrace(machine, trace);
+        std::printf("arrivals:      %llu (%llu completed, "
+                    "%llu churn-dropped)\n",
+                    static_cast<unsigned long long>(r.arrivals),
+                    static_cast<unsigned long long>(r.completed),
+                    static_cast<unsigned long long>(r.droppedChurn));
+        std::printf("requests/s:    %.0f\n", r.requestsPerSec);
+        std::printf("latency p50:   %.2f us\n", r.p50() / 1000.0);
+        std::printf("latency p99:   %.2f us\n", r.p99() / 1000.0);
+        std::printf("latency p999:  %.2f us\n", r.p999() / 1000.0);
+        std::printf("shootdowns/s:  %.0f\n", r.shootdownsPerSec);
+        std::printf("digest:        %016llx\n",
+                    static_cast<unsigned long long>(r.digest));
     } else if (opts.workload == "numa") {
         const NumaBenchProfile *profile = nullptr;
         for (const NumaBenchProfile &p : numaBenchSuite())

@@ -112,6 +112,26 @@ Kernel::exitProcess(Process *process)
     }
 }
 
+Duration
+Kernel::switchToTask(Task *task)
+{
+    return sched_.switchToTask(task);
+}
+
+void
+Kernel::noteRequestComplete(CoreId core, MmId mm, Duration latency)
+{
+    if (!serveRequestsCtr_) {
+        serveRequestsCtr_ = &stats_.counter("serve.requests");
+        serveLatencyDist_ = &stats_.distribution("serve.request_ns");
+    }
+    serveRequestsCtr_->inc();
+    serveLatencyDist_->sample(static_cast<double>(latency));
+    if (trace_)
+        trace_->instant("serve", "request.done", queue_.now(), core,
+                        mm, latency);
+}
+
 void
 Kernel::traceSyscall(const char *name, Tick begin,
                      const SyscallResult &res, CoreId core, MmId mm,

@@ -98,6 +98,28 @@ class Kernel
 
     /// @}
 
+    /// @name Serving subsystem hooks (src/serve/)
+    /// @{
+
+    /**
+     * Directed context switch to @p task on its pinned core: the
+     * serving subsystem runs each request on the addressed tenant's
+     * task. Pays the full switch cost (LATR's context-switch sweep,
+     * the PCID-less flush) unless @p task is already current.
+     * @return CPU cost of the switch.
+     */
+    Duration switchToTask(Task *task);
+
+    /**
+     * Request-completion hook: counts the request, samples its
+     * arrival-to-completion latency into the stat registry
+     * ("serve.request_ns", so dumps report request percentiles next
+     * to the kernel counters), and emits a trace instant.
+     */
+    void noteRequestComplete(CoreId core, MmId mm, Duration latency);
+
+    /// @}
+
     /// @name System calls
     /// @{
 
@@ -201,6 +223,13 @@ class Kernel
      */
     TouchHooks touchHooks_;
     Task *touchTask_ = nullptr;
+
+    /**
+     * Serving-subsystem stats, resolved on first request completion
+     * so machines that never serve keep serve.* out of their dumps.
+     */
+    Counter *serveRequestsCtr_ = nullptr;
+    Distribution *serveLatencyDist_ = nullptr;
 
     /** Fault-path counters resolved once (touch() is per-access). */
     Counter &minorFaultsCtr_;

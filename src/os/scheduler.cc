@@ -263,6 +263,20 @@ Scheduler::contextSwitch(CoreId core)
     return switchTo(cs, next);
 }
 
+Duration
+Scheduler::switchToTask(Task *task)
+{
+    CoreState &cs = cores_.at(task->core());
+    if (cs.current == task)
+        return 0;
+    if (std::find(cs.runqueue.begin(), cs.runqueue.end(), task) ==
+        cs.runqueue.end())
+        panic("switchToTask: task %llu not runnable on core %u",
+              static_cast<unsigned long long>(task->id()),
+              task->core());
+    return switchTo(cs, task);
+}
+
 void
 Scheduler::tickCore(CoreId core)
 {

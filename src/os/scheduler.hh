@@ -83,6 +83,16 @@ class Scheduler : public CoreService
     Duration contextSwitch(CoreId core);
 
     /**
+     * Directed context switch: make @p task the running task of its
+     * pinned core. The serving subsystem dispatches the addressed
+     * tenant's task per request instead of rotating the runqueue.
+     * The task must be runnable (on its core's runqueue).
+     * @return CPU cost of the switch on that core; 0 if @p task was
+     *         already current.
+     */
+    Duration switchToTask(Task *task);
+
+    /**
      * Drain the stolen-time accumulator of @p core. Workload
      * drivers add the returned amount to their next operation.
      */

@@ -1,0 +1,146 @@
+#include "serve/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace latr
+{
+
+LatencyHistogram::LatencyHistogram() : buckets_(kTotalBuckets, 0) {}
+
+std::size_t
+LatencyHistogram::bucketOf(std::uint64_t value)
+{
+    if (value < kLinearMax)
+        return value;
+    // Major bucket m >= 1 covers [kLinearMax << (m-1), kLinearMax << m),
+    // split into kSubBuckets minors of width 2^(m-1).
+    const unsigned msb = 63 - std::countl_zero(value);
+    const unsigned major = msb - kLinearBits + 1;
+    const std::uint64_t sub = (value >> (major - 1)) - kLinearMax;
+    return static_cast<std::size_t>(major) * kSubBuckets +
+           static_cast<std::size_t>(sub);
+}
+
+std::uint64_t
+LatencyHistogram::bucketLow(std::size_t i)
+{
+    const std::size_t major = i / kSubBuckets;
+    const std::size_t sub = i % kSubBuckets;
+    if (major == 0)
+        return sub;
+    return (kLinearMax + sub) << (major - 1);
+}
+
+std::uint64_t
+LatencyHistogram::bucketHigh(std::size_t i)
+{
+    const std::size_t major = i / kSubBuckets;
+    if (major == 0)
+        return bucketLow(i);
+    return bucketLow(i) + ((1ULL << (major - 1)) - 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+    ++buckets_[bucketOf(value)];
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    min_ = 0;
+    max_ = 0;
+    sum_ = 0;
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::uint64_t
+LatencyHistogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q < 0.0 || q > 1.0)
+        panic("percentile quantile %f out of [0, 1]", q);
+    // Inclusive nearest rank: the ceil(q * count)-th smallest sample
+    // (1-based), clamped to [1, count] so q = 0 is the minimum.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    rank = std::min(rank, count_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= rank) {
+            // Never report beyond the recorded max: the top bucket's
+            // highest equivalent value can overshoot it.
+            return std::min(bucketHigh(i), max_);
+        }
+    }
+    return max_; // unreachable: cumulative reaches count_
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+std::uint64_t
+LatencyHistogram::digest() const
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (unsigned b = 0; b < 8; ++b) {
+            h ^= (v >> (b * 8)) & 0xff;
+            h *= 1099511628211ULL; // FNV prime
+        }
+    };
+    mix(count_);
+    mix(sum_);
+    mix(min_);
+    mix(max_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue; // sparse: digest (index, count) pairs
+        mix(i);
+        mix(buckets_[i]);
+    }
+    return h;
+}
+
+} // namespace latr

@@ -88,11 +88,20 @@ Distribution::percentile(double q) const
         std::sort(reservoir_.begin(), reservoir_.end());
         sorted_ = true;
     }
-    double pos = q * static_cast<double>(reservoir_.size() - 1);
-    std::size_t lo = static_cast<std::size_t>(pos);
-    std::size_t hi = std::min(lo + 1, reservoir_.size() - 1);
-    double frac = pos - static_cast<double>(lo);
-    return reservoir_[lo] * (1.0 - frac) + reservoir_[hi] * frac;
+    // Inclusive nearest rank: the smallest sample v such that at
+    // least ceil(q * n) samples are <= v, clamped so q = 0 is the
+    // minimum. Linear interpolation (the previous definition) biases
+    // tail percentiles low at small n — with n = 100, p99 landed
+    // between the 99th and 100th samples instead of on the sample
+    // 99% of the data sits at or below — and cannot agree with a
+    // counting histogram. This definition matches
+    // LatencyHistogram::percentile exactly.
+    const std::size_t n = reservoir_.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::max<std::size_t>(rank, 1);
+    rank = std::min(rank, n);
+    return reservoir_[rank - 1];
 }
 
 double

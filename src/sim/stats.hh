@@ -51,8 +51,12 @@ class Distribution
     double mean() const;
 
     /**
-     * Value at quantile @p q in [0, 1]; exact over the reservoir
-     * (statistical over the full stream once the reservoir is full).
+     * Value at quantile @p q in [0, 1], inclusive nearest rank: the
+     * sample at 1-based index ceil(q * n) of the sorted reservoir
+     * (clamped to [1, n], so q = 0 is the minimum and q = 1 the
+     * maximum). Exact over the reservoir; statistical over the full
+     * stream once the reservoir is full. Matches
+     * LatencyHistogram::percentile bit-for-bit on common inputs.
      */
     double percentile(double q) const;
 

@@ -15,6 +15,7 @@
 #include <new>
 
 #include "hw/tlb.hh"
+#include "serve/histogram.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 
@@ -144,6 +145,26 @@ TEST(AllocFree, TlbInsertLookupInvalidateSteadyState)
     tlb.flushAll();
     EXPECT_EQ(allocsNow() - before, 0u)
         << "Tlb hot paths allocated in steady state";
+}
+
+TEST(AllocFree, LatencyHistogramRecordAndQueryAreAllocFree)
+{
+    // The serve subsystem records every request completion into this
+    // histogram on the hot path, so record() — and the percentile
+    // queries the SLO report makes — must never touch the heap. The
+    // buckets are a fixed-size member array; no warmup needed.
+    LatencyHistogram h;
+    Rng rng(0x5e21e);
+
+    const std::uint64_t before = allocsNow();
+    for (int i = 0; i < 100000; ++i)
+        h.record(rng.nextBounded(50'000'000) + 1);
+    const std::uint64_t sum = h.percentile(0.50) + h.percentile(0.99) +
+                              h.percentile(0.999) + h.digest();
+    EXPECT_EQ(allocsNow() - before, 0u)
+        << "LatencyHistogram hot paths allocated";
+    EXPECT_EQ(h.count(), 100000u);
+    EXPECT_GT(sum, 0u);
 }
 
 } // namespace

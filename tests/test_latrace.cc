@@ -1,0 +1,169 @@
+// Unit tests for the .latrace trace container: canonical bytes,
+// round-trips, and rejection of malformed input.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "serve/latrace.hh"
+#include "serve/serve.hh"
+
+namespace latr
+{
+namespace
+{
+
+Latrace
+sampleTrace()
+{
+    Latrace t;
+    t.seed = 42;
+    t.durationTicks = 5'000'000;
+    t.workers = 4;
+    t.tenants = 2;
+    t.serviceCpuNs = 30'000;
+    LatraceRecord r;
+    r.tick = 10;
+    r.user = 7;
+    r.tenant = 1;
+    r.pages = 3;
+    r.op = LatraceOp::Request;
+    t.records.push_back(r);
+    r.tick = 20;
+    r.op = LatraceOp::TenantExit;
+    t.records.push_back(r);
+    r.op = LatraceOp::TenantSpawn;
+    t.records.push_back(r);
+    return t;
+}
+
+TEST(Latrace, SerializationIsCanonical)
+{
+    const Latrace t = sampleTrace();
+    const std::string a = latraceSerialize(t);
+    const std::string b = latraceSerialize(t);
+    EXPECT_EQ(a, b);
+    // Fixed header (64 B) plus 24 B per record.
+    EXPECT_EQ(a.size(), 64u + 24u * t.records.size());
+    EXPECT_EQ(a.substr(0, 7), "LATRACE");
+}
+
+TEST(Latrace, RoundTripPreservesEverything)
+{
+    const Latrace t = sampleTrace();
+    Latrace back;
+    std::string error;
+    ASSERT_TRUE(latraceParse(latraceSerialize(t), &back, &error))
+        << error;
+    EXPECT_TRUE(t == back);
+    // And re-serializing the parse gives the same bytes.
+    EXPECT_EQ(latraceSerialize(back), latraceSerialize(t));
+}
+
+TEST(Latrace, EmptyRecordListRoundTrips)
+{
+    Latrace t;
+    t.workers = 1;
+    t.tenants = 1;
+    Latrace back;
+    ASSERT_TRUE(latraceParse(latraceSerialize(t), &back, nullptr));
+    EXPECT_TRUE(t == back);
+}
+
+TEST(Latrace, RejectsTruncatedAndCorrupt)
+{
+    const std::string good = latraceSerialize(sampleTrace());
+    Latrace out;
+    std::string error;
+
+    EXPECT_FALSE(latraceParse("", &out, &error));
+    EXPECT_NE(error.find("shorter"), std::string::npos);
+
+    EXPECT_FALSE(latraceParse(good.substr(0, 40), &out, &error));
+
+    std::string badMagic = good;
+    badMagic[0] = 'X';
+    EXPECT_FALSE(latraceParse(badMagic, &out, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+
+    std::string badVersion = good;
+    badVersion[8] = 99;
+    EXPECT_FALSE(latraceParse(badVersion, &out, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+
+    // Truncated body: drop the last record's bytes.
+    EXPECT_FALSE(
+        latraceParse(good.substr(0, good.size() - 24), &out, &error));
+    EXPECT_NE(error.find("size"), std::string::npos);
+
+    // Trailing garbage is an error too (byte-diffable means exact).
+    EXPECT_FALSE(latraceParse(good + "x", &out, &error));
+
+    // Unknown op value.
+    std::string badOp = good;
+    badOp[64 + 18] = 77;
+    EXPECT_FALSE(latraceParse(badOp, &out, &error));
+    EXPECT_NE(error.find("op"), std::string::npos);
+
+    // Ticks must be nondecreasing: swap record order.
+    Latrace disordered = sampleTrace();
+    std::swap(disordered.records.front(), disordered.records.back());
+    EXPECT_FALSE(
+        latraceParse(latraceSerialize(disordered), &out, &error));
+    EXPECT_NE(error.find("nondecreasing"), std::string::npos);
+}
+
+TEST(Latrace, SaveLoadRoundTrips)
+{
+    const Latrace t = sampleTrace();
+    const std::string path =
+        ::testing::TempDir() + "latrace_roundtrip.latrace";
+    ASSERT_TRUE(latraceSave(t, path));
+    Latrace back;
+    std::string error;
+    ASSERT_TRUE(latraceLoad(path, &back, &error)) << error;
+    EXPECT_TRUE(t == back);
+    std::remove(path.c_str());
+}
+
+TEST(Latrace, LoadReportsMissingFile)
+{
+    Latrace out;
+    std::string error;
+    EXPECT_FALSE(
+        latraceLoad("/nonexistent/nowhere.latrace", &out, &error));
+    EXPECT_NE(error.find("open"), std::string::npos);
+}
+
+TEST(Latrace, CommittedCorpusFileParsesAndMatchesGenerator)
+{
+    // The committed corpus recording is the generator's output for
+    // this exact config — a cross-PR canary: if either the generator
+    // or the wire format drifts, the bytes stop matching and this
+    // test names the .latrace versioning rules as the fix.
+    ServeConfig config;
+    config.workers = 4;
+    config.tenants = 2;
+    config.users = 10'000;
+    config.arrivalRatePerSec = 50'000;
+    config.duration = 10 * kMsec;
+    config.churnInterval = 4 * kMsec;
+    config.seed = 7;
+    const Latrace generated = generateServeTrace(config);
+
+    Latrace committed;
+    std::string error;
+    ASSERT_TRUE(latraceLoad(
+        std::string(LATR_TEST_CORPUS_DIR) + "/serve_smoke.latrace",
+        &committed, &error))
+        << error;
+    EXPECT_TRUE(generated == committed)
+        << "generator output diverged from the committed corpus "
+           "recording; see DESIGN.md §9 versioning rules";
+    EXPECT_EQ(latraceSerialize(generated),
+              latraceSerialize(committed));
+}
+
+} // namespace
+} // namespace latr

@@ -218,6 +218,58 @@ TEST(Distribution, ResetCoversReservoirFullPath)
     EXPECT_DOUBLE_EQ(d.percentile(0.5), 500.0);
 }
 
+TEST(Distribution, PercentileBoundariesAtCountZero)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 0.0);
+}
+
+TEST(Distribution, PercentileBoundariesAtCountOne)
+{
+    // Every quantile of a single sample is that sample — including
+    // q = 0, where the rank clamp to [1, n] matters.
+    Distribution d;
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.999), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 42.0);
+}
+
+TEST(Distribution, PercentileIsInclusiveNearestRank)
+{
+    // Lock in the definition: the sample at 1-based rank
+    // ceil(q * n). A reported percentile is always a recorded
+    // sample, never an interpolated value between two — the old
+    // type-7 interpolation returned 7.93 for p99 of 1..8.
+    Distribution d;
+    for (int i = 1; i <= 8; ++i)
+        d.sample(i);
+    EXPECT_DOUBLE_EQ(d.percentile(0.125), 1.0); // ceil(1.0) = 1
+    EXPECT_DOUBLE_EQ(d.percentile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0.26), 3.0); // ceil(2.08) = 3
+    EXPECT_DOUBLE_EQ(d.percentile(0.5), 4.0);  // even n: lower middle
+    EXPECT_DOUBLE_EQ(d.percentile(0.99), 8.0); // tail is a sample
+}
+
+TEST(Distribution, PercentileBoundariesAtExactlyMaxSamples)
+{
+    // Fill the reservoir to exactly max_samples: no replacement has
+    // happened yet (seen_ == capacity), so every percentile must
+    // still be exact over the full stream — the boundary where an
+    // off-by-one in the reservoir-full transition would first show.
+    Distribution d(8);
+    for (int i = 1; i <= 8; ++i)
+        d.sample(i);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1.0), 8.0);
+    for (int i = 1; i <= 8; ++i)
+        EXPECT_DOUBLE_EQ(d.percentile(i / 8.0), i);
+}
+
 TEST(Stats, RatePerSecond)
 {
     EXPECT_DOUBLE_EQ(ratePerSecond(1000, kSec), 1000.0);

@@ -1,0 +1,164 @@
+// Unit tests for the serving subsystem's log-linear latency
+// histogram: bucket math, percentile boundaries, merge/digest, and
+// bit-exact agreement with Distribution::percentile on small inputs.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/histogram.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace latr
+{
+namespace
+{
+
+TEST(LatencyHistogram, EmptyIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(LatencyHistogram, SingleValueEveryQuantile)
+{
+    LatencyHistogram h;
+    h.record(1234);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 1234u);
+    EXPECT_EQ(h.max(), 1234u);
+    for (double q : {0.0, 0.5, 0.99, 0.999, 1.0})
+        EXPECT_EQ(h.percentile(q), 1234u) << "q=" << q;
+}
+
+TEST(LatencyHistogram, BucketMathRoundTrips)
+{
+    // Every value maps into a bucket whose [low, high] range
+    // contains it, across the linear/geometric boundary and the
+    // extremes of the 64-bit range.
+    const std::uint64_t probes[] = {
+        0,   1,   63,  64,   65,   127,  128,  129,  1000, 4095,
+        4096, 1u << 20, (1u << 20) + 17, 1ULL << 40,
+        (1ULL << 40) + (1ULL << 33), ~0ULL - 1, ~0ULL};
+    for (std::uint64_t v : probes) {
+        const std::size_t i = LatencyHistogram::bucketOf(v);
+        ASSERT_LT(i, LatencyHistogram().bucketCount()) << v;
+        EXPECT_LE(LatencyHistogram::bucketLow(i), v) << v;
+        EXPECT_GE(LatencyHistogram::bucketHigh(i), v) << v;
+    }
+}
+
+TEST(LatencyHistogram, BucketsAreContiguousAndMonotonic)
+{
+    // Walking bucket indexes walks disjoint adjacent value ranges.
+    const std::size_t n = LatencyHistogram().bucketCount();
+    for (std::size_t i = 1; i < n; ++i) {
+        EXPECT_EQ(LatencyHistogram::bucketLow(i),
+                  LatencyHistogram::bucketHigh(i - 1) + 1)
+            << "gap before bucket " << i;
+    }
+}
+
+TEST(LatencyHistogram, ExactBelowLinearMax)
+{
+    // Width-1 buckets below kLinearMax: percentiles are exact.
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 50; ++v)
+        h.record(v);
+    EXPECT_EQ(h.percentile(0.0), 1u);
+    EXPECT_EQ(h.percentile(0.5), 25u);
+    EXPECT_EQ(h.percentile(1.0), 50u);
+    EXPECT_EQ(h.percentile(0.02), 1u);
+    EXPECT_EQ(h.percentile(0.04), 2u);
+}
+
+TEST(LatencyHistogram, QuantizationErrorBounded)
+{
+    // Geometric buckets: the reported percentile of a known stream
+    // is within 1/kSubBuckets of the true value.
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 100000; ++v)
+        h.record(v);
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double exact = q * 100000.0;
+        const double got = static_cast<double>(h.percentile(q));
+        EXPECT_NEAR(got, exact,
+                    exact / LatencyHistogram::kSubBuckets + 1.0)
+            << "q=" << q;
+    }
+    // And never above the recorded max.
+    EXPECT_EQ(h.percentile(1.0), 100000u);
+}
+
+TEST(LatencyHistogram, AgreesWithDistributionOnSmallInputs)
+{
+    // The ISSUE's compatibility requirement: on small inputs (n under
+    // the reservoir size, values in the exact range) the histogram
+    // and Distribution report bit-identical percentiles — both use
+    // inclusive nearest rank.
+    Rng rng(99);
+    LatencyHistogram h;
+    Distribution d;
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t v = rng.nextBounded(64);
+        h.record(v);
+        d.sample(static_cast<double>(v));
+    }
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(static_cast<double>(h.percentile(q)),
+                         d.percentile(q))
+            << "q=" << q;
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording)
+{
+    Rng rng(7);
+    LatencyHistogram a, b, all;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next() % 500000;
+        (i % 2 ? a : b).record(v);
+        all.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    EXPECT_EQ(a.digest(), all.digest());
+    EXPECT_EQ(a.percentile(0.99), all.percentile(0.99));
+}
+
+TEST(LatencyHistogram, DigestDetectsDifferences)
+{
+    LatencyHistogram a, b;
+    a.record(100);
+    b.record(100);
+    EXPECT_EQ(a.digest(), b.digest());
+    b.record(100);
+    EXPECT_NE(a.digest(), b.digest()); // count differs
+    LatencyHistogram c, e;
+    c.record(1000);
+    e.record(1001); // adjacent but different buckets? ensure moments
+    EXPECT_NE(c.digest(), e.digest()); // sum differs even if bucket same
+}
+
+TEST(LatencyHistogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(5000);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    const LatencyHistogram fresh;
+    EXPECT_EQ(h.digest(), fresh.digest());
+}
+
+} // namespace
+} // namespace latr
