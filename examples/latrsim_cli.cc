@@ -25,6 +25,7 @@
 #include "machine/machine_stats.hh"
 #include "trace/chrome_trace.hh"
 #include "trace/text_dump.hh"
+#include "workload/lazycache.hh"
 #include "workload/microbench.hh"
 #include "workload/numabench.hh"
 #include "workload/parsec.hh"
@@ -46,6 +47,13 @@ struct Options
     std::uint64_t pages = 1;
     // serve workload (src/serve/): open-loop scenario knobs.
     Tick durationTicks = 0;     // 0 = ServeConfig default
+    // lazycache workload (src/workload/lazycache): pressure knobs.
+    std::uint64_t cachePages = 0;   // 0 = LazyCacheConfig default
+    double hotFraction = -1.0;      // <0 = default
+    unsigned readers = 0;           // 0 = default
+    unsigned writers = ~0u;         // ~0 = default
+    std::uint64_t burstPages = ~0ull; // ~0 = default
+    Duration pressureInterval = 0;  // 0 = default
     double arrivalRate = 0.0;   // 0 = ServeConfig default
     unsigned tenants = 0;       // 0 = ServeConfig default
     std::uint64_t users = 0;    // 0 = ServeConfig default
@@ -67,13 +75,22 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [options]\n"
-        "  --workload=apache|nginx|microbench|parsec|numa|serve\n"
+        "  --workload=apache|nginx|microbench|parsec|numa|serve|"
+        "lazycache\n"
         "  --policy=linux|latr|abis|barrelfish\n"
         "  --machine=commodity|large\n"
         "  --benchmark=<parsec or numa benchmark name>\n"
         "  --workers=N   (apache/nginx/serve serving cores)\n"
         "  --cores=N     (microbench/parsec/numa cores)\n"
         "  --pages=N     (microbench pages per munmap)\n"
+        "lazycache workload (MADV_FREE page cache):\n"
+        "  --cache-pages=N        (4 KB pages in the cache)\n"
+        "  --hot-fraction=F       (hot core-set fraction, 0..1)\n"
+        "  --readers=N --writers=N  (thread split)\n"
+        "  --burst-pages=N        (MADV_FREEs per pressure burst;\n"
+        "                          0 disables pressure)\n"
+        "  --pressure-interval=N  (ns between bursts)\n"
+        "  --duration-ticks=N     (measured window in simulated ns)\n"
         "serve workload (open-loop, tail latency; src/serve/):\n"
         "  --duration-ticks=N  (arrival horizon in simulated ns)\n"
         "  --arrival-rate=N    (mean requests per simulated second)\n"
@@ -120,6 +137,18 @@ parseArg(Options &opts, const char *arg)
         opts.pages = static_cast<std::uint64_t>(std::atoll(v));
     } else if (const char *v = value("--duration-ticks")) {
         opts.durationTicks = static_cast<Tick>(std::atoll(v));
+    } else if (const char *v = value("--cache-pages")) {
+        opts.cachePages = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char *v = value("--hot-fraction")) {
+        opts.hotFraction = std::atof(v);
+    } else if (const char *v = value("--readers")) {
+        opts.readers = static_cast<unsigned>(std::atoi(v));
+    } else if (const char *v = value("--writers")) {
+        opts.writers = static_cast<unsigned>(std::atoi(v));
+    } else if (const char *v = value("--burst-pages")) {
+        opts.burstPages = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (const char *v = value("--pressure-interval")) {
+        opts.pressureInterval = static_cast<Duration>(std::atoll(v));
     } else if (const char *v = value("--arrival-rate")) {
         opts.arrivalRate = std::atof(v);
     } else if (const char *v = value("--tenants")) {
@@ -273,6 +302,42 @@ main(int argc, char **argv)
         std::printf("latency p999:  %.2f us\n", r.p999() / 1000.0);
         std::printf("shootdowns/s:  %.0f\n", r.shootdownsPerSec);
         std::printf("digest:        %016llx\n",
+                    static_cast<unsigned long long>(r.digest));
+    } else if (opts.workload == "lazycache") {
+        LazyCacheConfig cfg;
+        if (opts.cachePages)
+            cfg.cachePages = opts.cachePages;
+        if (opts.hotFraction >= 0.0)
+            cfg.hotFraction = opts.hotFraction;
+        if (opts.readers)
+            cfg.readers = opts.readers;
+        if (opts.writers != ~0u)
+            cfg.writers = opts.writers;
+        if (opts.burstPages != ~0ull)
+            cfg.burstPages = opts.burstPages;
+        if (opts.pressureInterval)
+            cfg.pressureInterval = opts.pressureInterval;
+        cfg.seed = opts.seed;
+        LazyCacheWorkload cache(machine, cfg);
+        const Duration measured =
+            opts.durationTicks ? opts.durationTicks : 100 * kMsec;
+        LazyCacheResult r = cache.measure(10 * kMsec, measured);
+        std::printf("events/s:        %.0f\n", r.eventsPerSec);
+        std::printf("reads/s:         %.0f\n", r.readsPerSec);
+        std::printf("hit ratio:       %.4f\n", r.hitRatio);
+        std::printf("reval fails:     %llu (refills %llu)\n",
+                    static_cast<unsigned long long>(
+                        r.revalidationFails),
+                    static_cast<unsigned long long>(r.refills));
+        std::printf("madv_free pages: %llu in %llu bursts\n",
+                    static_cast<unsigned long long>(r.discardedPages),
+                    static_cast<unsigned long long>(r.bursts));
+        std::printf("fallback IPIs:   %llu (%.0f/s)\n",
+                    static_cast<unsigned long long>(r.fallbackIpis),
+                    ratePerSecond(r.fallbackIpis, measured));
+        std::printf("reclaimed pages: %llu\n",
+                    static_cast<unsigned long long>(r.reclaimedPages));
+        std::printf("digest:          %016llx\n",
                     static_cast<unsigned long long>(r.digest));
     } else if (opts.workload == "numa") {
         const NumaBenchProfile *profile = nullptr;

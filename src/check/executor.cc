@@ -234,6 +234,17 @@ runScript(const Script &script, PolicyKind policy,
                            .latency);
             break;
           }
+          case OpKind::MadviseFree: {
+            if (!slot.live)
+                break;
+            Task *t = task_for(op, slot);
+            if (t)
+                settle(kernel
+                           .madviseFree(t, slot.addr,
+                                        slot.pages * kPageSize)
+                           .latency);
+            break;
+          }
           case OpKind::Mprotect: {
             if (!slot.live)
                 break;

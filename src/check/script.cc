@@ -37,6 +37,7 @@ opName(OpKind kind)
       case OpKind::Munmap: return "munmap";
       case OpKind::MunmapSync: return "munmap_sync";
       case OpKind::Madvise: return "madvise";
+      case OpKind::MadviseFree: return "madvise_free";
       case OpKind::Mprotect: return "mprotect";
       case OpKind::Mremap: return "mremap";
       case OpKind::MarkCow: return "markcow";
@@ -107,7 +108,11 @@ generateScript(std::uint64_t seed, const GenOptions &opt)
             op.task = task_of(st.proc);
             st.live = false;
         } else if (roll < 16 && !st.huge) {
-            op.kind = OpKind::Madvise;
+            // Half the discards take the MADV_FREE flavor: same
+            // deferred-free model, separately counted/traced, and
+            // the lazycache workload's staple operation.
+            op.kind = rng.nextBool(0.5) ? OpKind::MadviseFree
+                                        : OpKind::Madvise;
             op.task = task_of(st.proc);
             st.tainted = true;
         } else if (roll < 22 && !st.huge) {
@@ -177,6 +182,7 @@ serializeScript(const Script &script)
           case OpKind::Munmap:
           case OpKind::MunmapSync:
           case OpKind::Madvise:
+          case OpKind::MadviseFree:
           case OpKind::MarkCow:
             out << " " << op.task << " " << op.slot;
             break;
@@ -288,6 +294,10 @@ parseScript(const std::string &text, Script *out, std::string *err)
             op.kind = OpKind::Madvise;
             if (!(toks >> op.task >> op.slot))
                 return fail("madvise <task> <slot>");
+        } else if (word == "madvise_free") {
+            op.kind = OpKind::MadviseFree;
+            if (!(toks >> op.task >> op.slot))
+                return fail("madvise_free <task> <slot>");
         } else if (word == "mprotect") {
             op.kind = OpKind::Mprotect;
             if (!(toks >> op.task >> op.slot >> access) ||

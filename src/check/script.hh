@@ -28,6 +28,7 @@ enum class OpKind : std::uint8_t
     Munmap,      ///< unmap `slot` (policy's lazy path)
     MunmapSync,  ///< unmap `slot` with the sync-override flag
     Madvise,     ///< MADV_DONTNEED the whole `slot`
+    MadviseFree, ///< MADV_FREE the whole `slot` (lazy discard)
     Mprotect,    ///< change `slot` to read-only or read-write (`rw`)
     Mremap,      ///< grow/shrink `slot` to `pages` pages (moves it)
     MarkCow,     ///< make `slot` copy-on-write

@@ -281,6 +281,27 @@ Kernel::munmap(Task *task, Addr addr, std::uint64_t len, bool sync)
 SyscallResult
 Kernel::madvise(Task *task, Addr addr, std::uint64_t len)
 {
+    return madviseCommon(task, addr, len, "sys.madvise", "madvise");
+}
+
+SyscallResult
+Kernel::madviseFree(Task *task, Addr addr, std::uint64_t len)
+{
+    // MADV_FREE shares the deferred-free contract with MADV_DONTNEED
+    // in this model: the contents are gone from the application's
+    // view the moment the call returns (a later touch refaults a
+    // fresh zero frame), while the frames reach the allocator
+    // through the policy — lazily under LATR. Distinct counter and
+    // trace name so free-then-reuse traffic is visible next to
+    // plain madvise in dumps.
+    return madviseCommon(task, addr, len, "sys.madvise_free",
+                         "madvise_free");
+}
+
+SyscallResult
+Kernel::madviseCommon(Task *task, Addr addr, std::uint64_t len,
+                      const char *counter, const char *op)
+{
     SyscallResult res;
     AddressSpace &mm = task->mm();
     const CoreId core = task->core();
@@ -330,13 +351,13 @@ Kernel::madvise(Task *task, Addr addr, std::uint64_t len)
     noteInvalidation(mm, s, e,
                      shoot_at + pol +
                          policy_->stalenessContract().epochBound,
-                     "madvise");
+                     op);
 
     res.ok = true;
     res.shootdown = pol;
     res.latency = (shoot_at + pol) - now;
-    stats_.counter("sys.madvise").inc();
-    traceSyscall("sys.madvise", now, res, core, mm.id(), npages);
+    stats_.counter(counter).inc();
+    traceSyscall(counter, now, res, core, mm.id(), npages);
     return res;
 }
 

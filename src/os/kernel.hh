@@ -144,6 +144,20 @@ class Kernel
     /** madvise(MADV_DONTNEED / MADV_FREE). */
     SyscallResult madvise(Task *task, Addr addr, std::uint64_t len);
 
+    /**
+     * madvise(MADV_FREE): lazily discard [addr, addr+len). The
+     * kernel bookkeeping is identical to madvise() — PTEs cleared,
+     * VMA survives, frames travel through the policy's free-based
+     * shootdown path into the FrameAllocator's free lists — but it
+     * is counted and traced separately ("sys.madvise_free") because
+     * it is *the* free-then-reuse traffic source: the discarded
+     * frames come back out of the allocator while remote TLBs may
+     * still hold translations to them, which is exactly the window
+     * LATR's reclaim delay and the §4.2 staleness invariant bound.
+     */
+    SyscallResult madviseFree(Task *task, Addr addr,
+                              std::uint64_t len);
+
     SyscallResult mprotect(Task *task, Addr addr, std::uint64_t len,
                            std::uint8_t prot);
 
@@ -186,6 +200,11 @@ class Kernel
 
     /** CoW write-fault resolution (used via TouchHooks). */
     Duration breakCow(Task *task, Vpn vpn);
+
+    /** Shared body of madvise() / madviseFree(). */
+    SyscallResult madviseCommon(Task *task, Addr addr,
+                                std::uint64_t len,
+                                const char *counter, const char *op);
 
     /** Emit a [now, now+latency] span for a completed syscall. */
     void traceSyscall(const char *name, Tick begin,

@@ -1,6 +1,7 @@
 #include "tlbcoh/latr_policy.hh"
 
 #include <algorithm>
+#include <cassert>
 
 #include "sim/logging.hh"
 #include "trace/trace.hh"
@@ -57,7 +58,11 @@ LatrPolicy::allocSlot(CoreId core)
 const std::vector<LatrState> &
 LatrPolicy::ringOf(CoreId core) const
 {
-    return rings_.at(core);
+    // Per-sweep hot path: unchecked indexing with a debug assert,
+    // per the allocation-free hot-path rules. Core ids come from the
+    // topology the rings were sized for.
+    assert(core < rings_.size());
+    return rings_[core];
 }
 
 std::uint64_t

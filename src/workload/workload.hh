@@ -62,6 +62,21 @@ class CoreActor
      */
     virtual Duration step() = 0;
 
+    /**
+     * Declare the conflict footprint of one step() into @p fp and
+     * return true, or return false (the default) to leave the step
+     * undeclared — a barrier under the parallel batched engine.
+     * The footprint must cover everything step() mutates that
+     * another event's compute() phase might read (commit phases
+     * always replay in (tick, seq) order, so write/write overlap
+     * between declared events is fine).
+     */
+    virtual bool stepFootprint(EventFootprint &fp) const
+    {
+        (void)fp;
+        return false;
+    }
+
     Machine &machine() { return machine_; }
     Kernel &kernel() { return machine_.kernel(); }
     CoreId core() const { return task_->core(); }
@@ -72,6 +87,10 @@ class CoreActor
       public:
         explicit StepEvent(CoreActor *actor) : actor_(actor) {}
         void process() override { actor_->doStep(); }
+        bool footprint(EventFootprint &fp) const override
+        {
+            return actor_->stepFootprint(fp);
+        }
         const char *name() const override { return "actor-step"; }
 
       private:

@@ -15,9 +15,11 @@
 #include <new>
 
 #include "hw/tlb.hh"
+#include "machine/machine.hh"
 #include "serve/histogram.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "workload/lazycache.hh"
 
 namespace
 {
@@ -145,6 +147,34 @@ TEST(AllocFree, TlbInsertLookupInvalidateSteadyState)
     tlb.flushAll();
     EXPECT_EQ(allocsNow() - before, 0u)
         << "Tlb hot paths allocated in steady state";
+}
+
+TEST(AllocFree, LazyCacheSteadyStateReadWriteLoop)
+{
+    // The lazycache hot loop — optimistic reads revalidating
+    // generations, writers bumping them, pooled step events
+    // rescheduling — must not touch the heap once warm. Pressure is
+    // disabled (burstPages = 0): MADV_FREE's unmap bookkeeping is
+    // allowed to allocate, the read/write cache loop is not.
+    LazyCacheConfig cfg;
+    cfg.cachePages = 512;
+    cfg.hotFraction = 0.25;
+    cfg.readers = 4;
+    cfg.writers = 2;
+    cfg.burstPages = 0;
+    Machine machine(MachineConfig::commodity2S16C(),
+                    PolicyKind::Latr);
+    LazyCacheWorkload cache(machine, cfg);
+    cache.start();
+    machine.run(5 * kMsec); // warmup: faults in every page, fills TLBs
+
+    const std::uint64_t before = allocsNow();
+    const std::uint64_t readsBefore = cache.reads();
+    machine.run(20 * kMsec);
+    EXPECT_EQ(allocsNow() - before, 0u)
+        << "lazycache steady-state loop allocated";
+    EXPECT_GT(cache.reads(), readsBefore);
+    EXPECT_GT(cache.writes(), 0u);
 }
 
 TEST(AllocFree, LatencyHistogramRecordAndQueryAreAllocFree)

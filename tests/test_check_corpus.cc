@@ -51,7 +51,9 @@ INSTANTIATE_TEST_SUITE_P(
                       "barrelfish_remote_unmap.script",
                       "pcid_on.script", "pcid_off.script",
                       "large_word_boundary.script",
-                      "large_sync_shootdown.script"),
+                      "large_sync_shootdown.script",
+                      "lazycache_free_reuse.script",
+                      "lazycache_ring_overflow.script"),
     [](const ::testing::TestParamInfo<const char *> &info) {
         std::string name = info.param;
         return name.substr(0, name.find('.'));
@@ -69,6 +71,31 @@ TEST(CorpusRingFull, BurstOverflowsTheRingIntoFallbackIpis)
     // drops to zero the script no longer reaches the boundary it
     // was written to pin.
     EXPECT_GT(run.latrFallbackIpis, 0u);
+}
+
+TEST(CorpusLazycache, PressureBurstStraddlesRingOverflow)
+{
+    // 70 back-to-back MADV_FREEs from one core: 64 land in ring
+    // slots, the tail takes the fallback-IPI path — and the
+    // post-quiesce refill reuses frames released by both paths.
+    Script script = loadCorpus("lazycache_ring_overflow.script");
+    RunResult run =
+        runScript(script, PolicyKind::Latr, ExecOptions{});
+    EXPECT_EQ(run.stalenessViolations, 0u) << run.firstStaleness;
+    EXPECT_EQ(run.invariantViolations, 0u) << run.firstInvariant;
+    EXPECT_GT(run.latrFallbackIpis, 0u);
+}
+
+TEST(CorpusLazycache, FreeReuseStaysBelowTheRing)
+{
+    // The gentler companion script never exceeds the ring, so any
+    // fallback here means the ring shrank or save stopped working.
+    Script script = loadCorpus("lazycache_free_reuse.script");
+    RunResult run =
+        runScript(script, PolicyKind::Latr, ExecOptions{});
+    EXPECT_EQ(run.stalenessViolations, 0u) << run.firstStaleness;
+    EXPECT_EQ(run.invariantViolations, 0u) << run.firstInvariant;
+    EXPECT_EQ(run.latrFallbackIpis, 0u);
 }
 
 TEST(CorpusRingFull, SyncOverrideNeverTouchesTheRing)

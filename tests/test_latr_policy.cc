@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "test_helpers.hh"
 #include "tlbcoh/latr_policy.hh"
+#include "trace/trace.hh"
 
 namespace latr
 {
@@ -164,6 +167,108 @@ TEST_F(LatrFixture, RingOverflowFallsBackToIpis)
     EXPECT_GT(machine.ipi().ipisSent(), 0u);
     machine.run(8 * kMsec);
     EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(LatrFixture, ExactRingBoundaryFallsBackOnNextFree)
+{
+    // Fill exactly latrStatesPerCore entries without letting any
+    // time pass (no sweep, no reclaim): every save must land in a
+    // slot, and only the ring+1'th free crosses into the fallback
+    // path — one counter bump, IPIs on the wire, and the
+    // latr.ring_full_fallback trace instant.
+    machine.trace().setEnabled(true);
+    const unsigned ring = machine.config().latrStatesPerCore;
+    for (unsigned i = 0; i < ring; ++i) {
+        Addr a = sharedPage({t0, t1});
+        kernel.munmap(t0, a, kPageSize);
+    }
+    EXPECT_EQ(machine.stats().counterValue("latr.states_saved"),
+              ring);
+    EXPECT_EQ(machine.stats().counterValue("latr.fallback_ipis"), 0u);
+    for (const TraceRecord &rec : machine.trace().snapshot())
+        EXPECT_STRNE(rec.name, "latr.ring_full_fallback");
+
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    Addr a = sharedPage({t0, t1});
+    kernel.munmap(t0, a, kPageSize);
+    EXPECT_EQ(machine.stats().counterValue("latr.states_saved"),
+              ring);
+    EXPECT_EQ(machine.stats().counterValue("latr.fallback_ipis"), 1u);
+    EXPECT_GT(machine.ipi().ipisSent(), ipis);
+    bool saw = false;
+    for (const TraceRecord &rec : machine.trace().snapshot())
+        if (rec.kind == TraceKind::Instant &&
+            std::strcmp(rec.name, "latr.ring_full_fallback") == 0)
+            saw = true;
+    EXPECT_TRUE(saw);
+
+    machine.run(8 * kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(LatrFixture, AllocCursorWrapsIntoReclaimedMidRingSlots)
+{
+    // Pin the slot-reuse order: after the cursor has traversed the
+    // whole ring and a reclaim pass has retired the first wave
+    // mid-ring, the next saves wrap around and fill slots 0, 1, 2
+    // in cursor order — not the still-pending upper half.
+    const unsigned ring = machine.config().latrStatesPerCore;
+    ASSERT_EQ(ring % 2, 0u);
+    for (unsigned i = 0; i < ring / 2; ++i) {
+        Addr a = sharedPage({t0, t1}); // wave A: slots 0..ring/2-1
+        kernel.munmap(t0, a, kPageSize);
+    }
+    machine.run(1 * kMsec);
+    for (unsigned i = 0; i < ring / 2; ++i) {
+        Addr a = sharedPage({t0, t1}); // wave B: the upper half,
+        kernel.munmap(t0, a, kPageSize); // cursor wraps to 0
+    }
+    // Past wave A's reclaim deadline (save + 2 ms), short of wave
+    // B's: the lower half is Empty again, the upper half is not.
+    machine.run(1400 * kUsec);
+    const auto &r0 = policy->ringOf(0);
+    for (unsigned i = 0; i < ring / 2; ++i)
+        EXPECT_EQ(r0[i].phase, LatrStatePhase::Empty) << "slot " << i;
+    unsigned upperLive = 0;
+    for (unsigned i = ring / 2; i < ring; ++i)
+        if (r0[i].phase != LatrStatePhase::Empty)
+            ++upperLive;
+    EXPECT_GT(upperLive, 0u);
+
+    Addr fresh[3];
+    for (int i = 0; i < 3; ++i) {
+        fresh[i] = sharedPage({t0, t1});
+        kernel.munmap(t0, fresh[i], kPageSize);
+    }
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_NE(r0[i].phase, LatrStatePhase::Empty) << "slot " << i;
+        EXPECT_EQ(r0[i].startVpn, pageOf(fresh[i])) << "slot " << i;
+        EXPECT_EQ(r0[i].kind, LatrStateKind::Free);
+    }
+    EXPECT_EQ(machine.stats().counterValue("latr.fallback_ipis"), 0u);
+    machine.run(8 * kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(LatrFixture, MadviseFreeIsLazyAndRefaultsZeroFilled)
+{
+    // The lazycache discard path: MADV_FREE defers like munmap but
+    // keeps the VMA, so a later touch is a fresh minor fault — the
+    // free-then-reuse cycle in one page.
+    Addr addr = sharedPage({t0, t1});
+    SyscallResult a = kernel.madviseFree(t0, addr, kPageSize);
+    ASSERT_TRUE(a.ok);
+    EXPECT_LE(a.shootdown, 200u);
+    EXPECT_EQ(policy->activeStates(), 1u);
+    EXPECT_EQ(machine.stats().counterValue("sys.madvise_free"), 1u);
+    EXPECT_FALSE(process->mm().rangeHeldBack(addr, addr + kPageSize));
+    machine.run(6 * kMsec);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(kernel.touch(t0, addr, true).kind,
+              TouchKind::MinorFault);
     EXPECT_EQ(machine.checker()->violations(), 0u);
 }
 
