@@ -44,6 +44,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_runner.hh"
@@ -399,6 +400,8 @@ main(int argc, char **argv)
     json.config("sim_threads", std::uint64_t{simThreads})
         .config("no_fastpath", std::uint64_t{noFastpath ? 1u : 0u})
         .config("pin_sim_threads", std::uint64_t{pinSim ? 1u : 0u})
+        .config("host_cpus",
+                std::uint64_t{std::thread::hardware_concurrency()})
         .config("jobs", std::uint64_t{1});
 
     char threadedStorm[32], threadedBig[32];
@@ -425,7 +428,8 @@ main(int argc, char **argv)
 
     double stormEps = 0;
     double bigEps = 0;
-    for (const ScenarioResult &r : results) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioResult &r = results[i];
         std::printf("%-16s | %14llu %10.3f | %14.0f\n", r.name,
                     static_cast<unsigned long long>(r.events),
                     r.wallSec, r.eventsPerSec());
@@ -434,6 +438,13 @@ main(int argc, char **argv)
             .num("events", r.events)
             .num("wall_sec", r.wallSec)
             .num("events_per_sec", r.eventsPerSec());
+        // Machine scenarios arrive as (sequential, _tN) pairs; record
+        // the measured ratio on the threaded row. Host-dependent, so
+        // it rides next to the host_cpus config rather than gating
+        // anything here.
+        if (i >= 3 && (i & 1) == 1 && r.wallSec > 0)
+            json.num("speedup_vs_seq",
+                     results[i - 1].wallSec / r.wallSec);
         if (std::strcmp(r.name, "munmap_storm") == 0)
             stormEps = r.eventsPerSec();
         else if (std::strcmp(r.name, "big_machine") == 0)

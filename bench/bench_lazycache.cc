@@ -135,10 +135,12 @@ main(int argc, char **argv)
                 "hit", "fb_ipis", "reclaimed");
     bench::rule();
 
-    char latrT[32], linuxT[32];
+    char latrT[32], linuxT[32], abisT[32];
     std::snprintf(latrT, sizeof latrT, "lazycache_latr_t%u",
                   simThreads);
     std::snprintf(linuxT, sizeof linuxT, "lazycache_linux_t%u",
+                  simThreads);
+    std::snprintf(abisT, sizeof abisT, "lazycache_abis_t%u",
                   simThreads);
 
     std::vector<CacheRow> rows;
@@ -156,6 +158,10 @@ main(int argc, char **argv)
     rows.push_back(runPolicy(linuxT, PolicyKind::LinuxSync,
                              simThreads, pinSim, scenario));
     rows.push_back(runPolicy(latrT, PolicyKind::Latr, simThreads,
+                             pinSim, scenario));
+    // The ABIS threaded row is the end-to-end check for the offloaded
+    // sharer harvest (lazycache's pressure bursts are what drive it).
+    rows.push_back(runPolicy(abisT, PolicyKind::Abis, simThreads,
                              pinSim, scenario));
 
     bench::JsonWriter json(

@@ -19,12 +19,14 @@
 // are simulated time: deterministic on one build, immune to host
 // noise.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_runner.hh"
@@ -45,6 +47,10 @@ struct ServeRow
     PolicyKind kind;
     unsigned simThreads;
     ServeResult result;
+    /** Host wall time of the replay, for the _tN speedup ratio. */
+    double wallSec = 0;
+    /** wall(sequential twin) / wall(this row); 0 for sequential. */
+    double speedup = 0;
 };
 
 ServeRow
@@ -55,9 +61,13 @@ runPolicy(const std::string &name, PolicyKind kind,
     config.simThreads = sim_threads;
     config.pinSimThreads = pin;
     Machine machine(config, kind);
-    ServeRow row{name, kind, sim_threads,
-                 runServeTrace(machine, trace)};
-    return row;
+    const auto start = std::chrono::steady_clock::now();
+    ServeResult result = runServeTrace(machine, trace);
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return ServeRow{name, kind, sim_threads, result, wall, 0};
 }
 
 /** (scenario, p99_us) rows of an earlier BENCH_serve.json. */
@@ -96,11 +106,14 @@ main(int argc, char **argv)
 {
     std::string checkAgainst;
     double maxRegression = 0.30;
+    double minSpeedup = 1.3;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--check-against=", 16) == 0)
             checkAgainst = argv[i] + 16;
         else if (std::strncmp(argv[i], "--max-regression=", 17) == 0)
             maxRegression = std::atof(argv[i] + 17);
+        else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0)
+            minSpeedup = std::atof(argv[i] + 14);
     }
     if (maxRegression > 1.0)
         maxRegression /= 100.0;
@@ -153,9 +166,26 @@ main(int argc, char **argv)
     rows.push_back(
         runPolicy(latrT, PolicyKind::Latr, simThreads, pinSim, trace));
 
+    // The _tN-vs-sequential wall-clock ratio, the number the parallel
+    // engine exists for. Host-dependent (unlike everything simulated
+    // above), so the JSON records the host CPU count next to it and
+    // the gate below only arms when the host can actually run the
+    // lanes concurrently.
+    const unsigned hostCpus = std::thread::hardware_concurrency();
+    for (ServeRow &row : rows) {
+        if (row.simThreads == 0)
+            continue;
+        for (const ServeRow &base : rows)
+            if (base.simThreads == 0 && base.kind == row.kind &&
+                row.wallSec > 0)
+                row.speedup = base.wallSec / row.wallSec;
+    }
+
     bench::JsonWriter json(
         "Serve", "open-loop serving tail latency (src/serve/)");
     json.config("sim_threads", std::uint64_t{simThreads})
+        .config("pin_sim_threads", std::uint64_t{pinSim ? 1u : 0u})
+        .config("host_cpus", std::uint64_t{hostCpus})
         .config("arrival_rate",
                 static_cast<std::uint64_t>(
                     scenario.arrivalRatePerSec))
@@ -177,8 +207,8 @@ main(int argc, char **argv)
         char digest[24];
         std::snprintf(digest, sizeof digest, "%016llx",
                       static_cast<unsigned long long>(r.digest));
-        json.row()
-            .str("scenario", row.name)
+        auto &jr = json.row();
+        jr.str("scenario", row.name)
             .num("p50_us", bench::us(r.p50()))
             .num("p99_us", bench::us(r.p99()))
             .num("p999_us", bench::us(r.p999()))
@@ -187,7 +217,10 @@ main(int argc, char **argv)
             .num("shootdowns_per_sec", r.shootdownsPerSec)
             .num("completed", r.completed)
             .num("dropped_churn", r.droppedChurn)
-            .str("digest", digest);
+            .num("wall_sec", row.wallSec);
+        if (row.simThreads > 0)
+            jr.num("speedup_vs_seq", row.speedup);
+        jr.str("digest", digest);
         if (row.name == "serve_linux")
             linuxP99 = bench::us(r.p99());
         else if (row.name == "serve_latr")
@@ -267,6 +300,31 @@ main(int argc, char **argv)
                         base.first.c_str(), got, base.second, ceiling,
                         got <= ceiling ? "ok" : "REGRESSION");
             if (got > ceiling)
+                failed = true;
+        }
+        // The wall-clock speedup gate: the LATR _tN row must beat its
+        // sequential twin by --min-speedup. Armed only when the host
+        // has a CPU per compute lane — anywhere else (CI containers,
+        // oversubscribed shells) the executor correctly declines to
+        // offload and the ratio measures scheduler noise, not the
+        // engine.
+        for (const ServeRow &row : rows) {
+            if (row.kind != PolicyKind::Latr || row.simThreads == 0)
+                continue;
+            if (hostCpus < row.simThreads) {
+                std::printf(
+                    "speedup gate [%s]: skipped (host has %u CPUs "
+                    "for %u lanes; measured %.2fx)\n",
+                    row.name.c_str(), hostCpus, row.simThreads,
+                    row.speedup);
+                continue;
+            }
+            std::printf("speedup gate [%s]: %.2fx vs sequential "
+                        "(floor %.2fx): %s\n",
+                        row.name.c_str(), row.speedup, minSpeedup,
+                        row.speedup >= minSpeedup ? "ok"
+                                                  : "REGRESSION");
+            if (row.speedup < minSpeedup)
                 failed = true;
         }
         if (failed)

@@ -13,12 +13,78 @@ IpiFabric::IpiFabric(EventQueue &queue, const NumaTopology &topo,
 {
 }
 
+void
+IpiFabric::DeliveryEvent::process()
+{
+    fabric->runDelivery(this);
+}
+
+bool
+IpiFabric::DeliveryEvent::footprint(EventFootprint &fp) const
+{
+    fp.writeCore(target);
+    // A planning delivery also *reads* its target core: admission
+    // then keeps TLB-touching members from landing ahead of it in
+    // the same batch, so the probe usually survives to its commit.
+    // Not a correctness requirement — the plan is validated against
+    // Tlb::mutationSeq() at apply time either way (DESIGN.md §8.4) —
+    // just what makes the plans worth computing.
+    if (planner)
+        fp.readCore(target);
+    if (space)
+        fp.writeSpace(space);
+    else
+        fp.writeAllSpaces();
+    return true;
+}
+
+void
+IpiFabric::DeliveryEvent::compute()
+{
+    plan.valid = false;
+    if (planner)
+        planner(target, &plan);
+}
+
+unsigned
+IpiFabric::DeliveryEvent::computeWeight() const
+{
+    return planner ? weight : 0;
+}
+
+IpiFabric::DeliveryEvent *
+IpiFabric::acquireDelivery()
+{
+    if (!free_.empty()) {
+        DeliveryEvent *ev = free_.back();
+        free_.pop_back();
+        return ev;
+    }
+    events_.push_back(std::make_unique<DeliveryEvent>());
+    DeliveryEvent *ev = events_.back().get();
+    ev->fabric = this;
+    return ev;
+}
+
+void
+IpiFabric::runDelivery(DeliveryEvent *ev)
+{
+    ev->deliver(ev->target, ev->at,
+                ev->plan.valid ? &ev->plan : nullptr);
+    // The queue released the event before calling process(), so it
+    // can go straight back on the free list. The deliver/planner
+    // closures stay assigned until the next acquire overwrites them;
+    // dropping them here would free (and later reallocate) their
+    // capture storage on every delivery.
+    free_.push_back(ev);
+}
+
 IpiBroadcastResult
 IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
                      Tick start,
                      std::function<Duration(CoreId)> handler_cost,
-                     std::function<void(CoreId, Tick)> on_deliver,
-                     const void *deliver_space)
+                     DeliverFn on_deliver, const void *deliver_space,
+                     PlanFn plan_deliver, unsigned plan_weight)
 {
     if (start < queue_.now())
         start = queue_.now();
@@ -75,16 +141,15 @@ IpiFabric::broadcast(CoreId initiator, const CpuMask &targets,
             // shot-down space) so they ride along in parallel
             // batches; commit order alone serializes the handler's
             // side effects.
-            EventFootprint fp;
-            fp.writeCore(target);
-            if (deliver_space)
-                fp.writeSpace(deliver_space);
-            else
-                fp.writeAllSpaces();
-            queue_.scheduleLambda(delivered, fp, [on_deliver, target,
-                                                  delivered]() {
-                on_deliver(target, delivered);
-            });
+            DeliveryEvent *ev = acquireDelivery();
+            ev->target = target;
+            ev->at = delivered;
+            ev->space = deliver_space;
+            ev->weight = plan_weight;
+            ev->deliver = on_deliver;
+            ev->planner = plan_deliver;
+            ev->plan.valid = false;
+            queue_.schedule(ev, delivered);
         }
 
         result.allAcked = std::max(result.allAcked, acked);

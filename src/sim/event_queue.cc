@@ -1,13 +1,14 @@
 #include "sim/event_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/parallel_exec.hh"
 
 namespace latr
 {
 
 namespace
 {
-/** Lambda wrappers kept for reuse; beyond this they are deleted. */
+/** Lambda wrappers kept for reuse per lane; beyond, deleted. */
 constexpr std::size_t kLambdaPoolCap = 1024;
 } // namespace
 
@@ -23,8 +24,44 @@ EventQueue::~EventQueue()
         slot.event->scheduled_ = false;
         delete slot.event;
     }
-    for (LambdaEvent *ev : lambdaPool_)
-        delete ev;
+    for (const auto &pool : lambdaPools_)
+        for (LambdaEvent *ev : pool)
+            delete ev;
+}
+
+void
+EventQueue::setParallelExecutor(ParallelExecutor *exec)
+{
+    exec_ = exec;
+    const std::size_t lanes = exec_ ? exec_->threads() : 1;
+    if (lanes >= lambdaPools_.size()) {
+        lambdaPools_.resize(lanes);
+        return;
+    }
+    // Shrinking (executor detached): fold the dying lanes' wrappers
+    // into lane 0 up to its cap rather than losing the warm pool.
+    for (std::size_t lane = lanes; lane < lambdaPools_.size(); ++lane) {
+        for (LambdaEvent *ev : lambdaPools_[lane]) {
+            if (lambdaPools_[0].size() < kLambdaPoolCap)
+                lambdaPools_[0].push_back(ev);
+            else
+                delete ev;
+        }
+    }
+    lambdaPools_.resize(lanes);
+}
+
+EventQueue::LambdaEvent *
+EventQueue::acquireLambda()
+{
+    for (auto &pool : lambdaPools_) {
+        if (pool.empty())
+            continue;
+        LambdaEvent *ev = pool.back();
+        pool.pop_back();
+        return ev;
+    }
+    return nullptr;
 }
 
 std::uint32_t
@@ -95,10 +132,8 @@ EventQueue::deschedule(Event *event)
 void
 EventQueue::scheduleLambda(Tick when, std::function<void()> fn)
 {
-    LambdaEvent *ev;
-    if (!lambdaPool_.empty()) {
-        ev = lambdaPool_.back();
-        lambdaPool_.pop_back();
+    LambdaEvent *ev = acquireLambda();
+    if (ev) {
         ev->fn_ = std::move(fn);
         ev->hasFp_ = false;
     } else {
@@ -112,10 +147,8 @@ void
 EventQueue::scheduleLambda(Tick when, const EventFootprint &fp,
                            std::function<void()> fn)
 {
-    LambdaEvent *ev;
-    if (!lambdaPool_.empty()) {
-        ev = lambdaPool_.back();
-        lambdaPool_.pop_back();
+    LambdaEvent *ev = acquireLambda();
+    if (ev) {
         ev->fn_ = std::move(fn);
     } else {
         ev = new LambdaEvent(std::move(fn));
@@ -127,13 +160,14 @@ EventQueue::scheduleLambda(Tick when, const EventFootprint &fp,
 }
 
 void
-EventQueue::recycleLambda(LambdaEvent *ev)
+EventQueue::recycleLambda(LambdaEvent *ev, unsigned lane)
 {
     // Drop the captured state now — it may hold resources whose
     // owners expect release as soon as the callback has run.
     ev->fn_ = nullptr;
-    if (lambdaPool_.size() < kLambdaPoolCap)
-        lambdaPool_.push_back(ev);
+    auto &pool = lambdaPools_[lane < lambdaPools_.size() ? lane : 0];
+    if (pool.size() < kLambdaPoolCap)
+        pool.push_back(ev);
     else
         delete ev;
 }
@@ -164,7 +198,7 @@ EventQueue::dispatchTop()
     ++executed_;
     ev->process();
     if (owned)
-        recycleLambda(static_cast<LambdaEvent *>(ev));
+        recycleLambda(static_cast<LambdaEvent *>(ev), 0);
 }
 
 std::uint64_t

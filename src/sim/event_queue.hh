@@ -62,6 +62,19 @@ enum class SimResource : unsigned
     LatrPublish = 0,
     /** The frame allocator's free lists (page release/grab). */
     FrameAllocator,
+    /**
+     * Sharer-directory plans (ABIS access-bit harvests). Deliberately
+     * a *no-writer* resource: no event declares a write, so its epoch
+     * advances only on the blanket bumps — undeclared barriers,
+     * interlopers writing into a batch's read union, and run() entry.
+     * An event that (a) declares a read of the address space whose
+     * sharer sets its compute() harvests — keeping same-batch writers
+     * of that mm from preceding it — and (b) validates the harvest
+     * against this epoch at commit therefore sees every mutation path
+     * invalidate its plan, without paying per-resource bumps from
+     * unrelated declared commits (DESIGN.md §8.4).
+     */
+    SharerDirectory,
     Count,
 };
 
@@ -318,11 +331,25 @@ class EventQueue
     /**
      * Attach (or with nullptr detach) the compute worker pool. While
      * attached, run() uses the optimistic batched dispatcher; step()
-     * stays sequential. The executor is borrowed, not owned.
+     * stays sequential. The executor is borrowed, not owned. The
+     * lambda freelist splits into one pool per compute lane (see
+     * recycleLambda()); detaching folds the lanes back into one.
      */
-    void setParallelExecutor(ParallelExecutor *exec) { exec_ = exec; }
+    void setParallelExecutor(ParallelExecutor *exec);
 
     ParallelExecutor *parallelExecutor() const { return exec_; }
+
+    /** Lambda freelist lanes (1 without an executor). For tests. */
+    unsigned lambdaLanes() const
+    {
+        return static_cast<unsigned>(lambdaPools_.size());
+    }
+
+    /** Pooled wrappers parked on @p lane's freelist. For tests. */
+    std::size_t lambdaPoolSize(unsigned lane) const
+    {
+        return lambdaPools_.at(lane).size();
+    }
 
     /**
      * Monotone epoch of @p r, advanced whenever an event that may
@@ -410,8 +437,25 @@ class EventQueue
     /** Release @p slot, aging its generation. */
     void releaseSlot(std::uint32_t slot);
 
-    /** Return a finished lambda wrapper to the pool. */
-    void recycleLambda(LambdaEvent *ev);
+    /**
+     * Pop a pooled wrapper, or nullptr when every lane is empty.
+     * Local-acquire: the committing coordinator allocates, so its own
+     * lane (0) is tried first and the worker lanes are only stolen
+     * from when it runs dry.
+     */
+    LambdaEvent *acquireLambda();
+
+    /**
+     * Return a finished lambda wrapper to @p lane's freelist.
+     * Remote-release, the other half of the NUMA event-pool
+     * discipline: a wrapper whose compute() ran on a worker lane goes
+     * back to that lane's pool, so with pinned workers each lane's
+     * wrappers cycle through one cache/NUMA domain instead of all
+     * lanes funnelling through a single LIFO stack. @p lane is the
+     * executor's computing lane for batch members, 0 for sequential
+     * and barrier dispatches.
+     */
+    void recycleLambda(LambdaEvent *ev, unsigned lane);
 
     /** Drop heap entries whose event was descheduled or rescheduled. */
     void popStale();
@@ -469,7 +513,8 @@ class EventQueue
     std::size_t livePending_ = 0;
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> freeSlots_;
-    std::vector<LambdaEvent *> lambdaPool_;
+    /** Per-compute-lane lambda freelists; lane 0 is the coordinator. */
+    std::vector<std::vector<LambdaEvent *>> lambdaPools_{1};
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 
     ParallelExecutor *exec_ = nullptr;

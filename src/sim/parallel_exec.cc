@@ -19,6 +19,19 @@ namespace
  */
 constexpr std::size_t kMaxBatch = 128;
 
+/** One polite spin-wait iteration. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 /** Pin the calling thread to host CPU @p lane mod the CPU count. */
 void
 pinToHostCpu(unsigned lane)
@@ -37,8 +50,14 @@ pinToHostCpu(unsigned lane)
 }
 } // namespace
 
-ParallelExecutor::ParallelExecutor(unsigned threads, bool pinWorkers)
-    : threads_(threads == 0 ? 1 : threads), pinWorkers_(pinWorkers)
+ParallelExecutor::ParallelExecutor(unsigned threads, bool pinWorkers,
+                                   bool forceOffload)
+    : threads_(threads == 0 ? 1 : threads), pinWorkers_(pinWorkers),
+      spinIters_(std::thread::hardware_concurrency() >= threads_
+                     ? kSpinIters
+                     : 0),
+      offload_(forceOffload ||
+               std::thread::hardware_concurrency() >= 2)
 {
     computedBy_.assign(threads_, 0);
     workers_.reserve(threads_ - 1);
@@ -50,8 +69,7 @@ ParallelExecutor::~ParallelExecutor()
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
-        ++generation_;
+        stop_.store(true, std::memory_order_release);
     }
     wake_.notify_all();
     for (std::thread &w : workers_)
@@ -76,6 +94,7 @@ ParallelExecutor::drainBatch(unsigned lane, Event *const *events,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire))
             continue; // lost the race; t reloaded by the CAS
+        laneOf_[idx] = static_cast<std::uint8_t>(lane);
         events[idx]->compute();
         ++local;
         t = ticket_.load(std::memory_order_acquire);
@@ -86,11 +105,18 @@ ParallelExecutor::drainBatch(unsigned lane, Event *const *events,
     // A successful tag-guarded claim belongs to the live batch, and
     // the coordinator cannot retire that batch (completed_ == count)
     // until every claimant publishes — so this contribution can never
-    // land on a later batch's completed_.
-    std::lock_guard<std::mutex> lock(mu_);
-    completed_ += local;
-    if (completed_ == count)
+    // land on a later batch's completed_. The coordinator usually
+    // spins the last computes out; the lock-then-notify only matters
+    // when it gave up and went to sleep (taking mu_ here orders this
+    // publish against its predicate check, so the wakeup cannot be
+    // lost).
+    const std::size_t done =
+        completed_.fetch_add(local, std::memory_order_acq_rel) +
+        local;
+    if (done == count) {
+        std::lock_guard<std::mutex> lock(mu_);
         done_.notify_one();
+    }
 }
 
 void
@@ -98,28 +124,45 @@ ParallelExecutor::workerLoop(unsigned lane)
 {
     if (pinWorkers_)
         pinToHostCpu(lane);
+    // `seen` is the truncated generation tag of the last batch this
+    // worker drained (the ticket's high bits).
     std::uint64_t seen = 0;
     for (;;) {
-        Event *const *events;
-        std::size_t count;
-        {
-            // Copy the batch descriptor under the lock: the publish
-            // in computeBatch() happens-before this read, and a
-            // worker never touches the member fields unsynchronized.
+        std::uint64_t tag;
+        unsigned spins = 0;
+        for (;;) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            tag = ticket_.load(std::memory_order_acquire) >>
+                  kCursorBits;
+            if (tag != seen)
+                break;
+            if (++spins < spinIters_) {
+                cpuRelax();
+                continue;
+            }
+            // Idle phase: sleep until the next publish. The
+            // predicate re-reads the ticket under mu_, which
+            // computeBatch() publishes under, so the wakeup cannot
+            // be lost between this check and the wait.
             std::unique_lock<std::mutex> lock(mu_);
             wake_.wait(lock, [this, seen] {
-                return stop_ || generation_ != seen;
+                return stop_.load(std::memory_order_relaxed) ||
+                       (ticket_.load(std::memory_order_relaxed) >>
+                        kCursorBits) != seen;
             });
-            if (stop_)
-                return;
-            seen = generation_;
-            events = events_;
-            count = count_;
+            spins = 0;
         }
-        // The descriptor may be stale by the time the first claim is
-        // attempted (this thread can sleep arbitrarily long here);
-        // drainBatch's generation tag makes that harmless.
-        drainBatch(lane, events, count, seen);
+        seen = tag;
+        // The descriptor may belong to a newer batch than `tag` by
+        // the time these load (this thread can stall arbitrarily
+        // long); drainBatch's generation-tag guard makes a stale or
+        // mixed descriptor harmless — it claims nothing.
+        Event *const *events =
+            events_.load(std::memory_order_acquire);
+        const std::size_t count =
+            count_.load(std::memory_order_acquire);
+        drainBatch(lane, events, count, tag);
     }
 }
 
@@ -128,7 +171,8 @@ ParallelExecutor::computeBatch(Event *const *events, std::size_t n,
                                unsigned heavyCount)
 {
     stats_.computed += n;
-    if (threads_ == 1 || heavyCount < 2 || n < 2) {
+    laneOf_.assign(n, 0);
+    if (threads_ == 1 || !offload_ || heavyCount < 2 || n < 2) {
         // Inline: the wakeup would cost more than the computes, or
         // there is nobody to share them with.
         for (std::size_t i = 0; i < n; ++i)
@@ -139,19 +183,35 @@ ParallelExecutor::computeBatch(Event *const *events, std::size_t n,
     ++stats_.parallelBatches;
     std::uint64_t gen;
     {
+        // The lock only orders this publish against workers entering
+        // their sleep fallback; spinning workers pick the batch up
+        // straight from the ticket store.
         std::lock_guard<std::mutex> lock(mu_);
-        events_ = events;
-        count_ = n;
-        completed_ = 0;
+        events_.store(events, std::memory_order_relaxed);
+        count_.store(n, std::memory_order_relaxed);
+        completed_.store(0, std::memory_order_relaxed);
         gen = ++generation_;
         // Re-tagging the ticket retires every outstanding claim
-        // ticket of the previous batch in the same store.
+        // ticket of the previous batch and publishes the new
+        // descriptor in the same release store.
         ticket_.store(gen << kCursorBits, std::memory_order_release);
     }
     wake_.notify_all();
     drainBatch(0, events, n, gen);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_.wait(lock, [this] { return completed_ == count_; });
+    // The stragglers are lanes mid-compute; spin them out before
+    // paying for a futex sleep.
+    for (unsigned spins = 0;
+         completed_.load(std::memory_order_acquire) != n; ++spins) {
+        if (spins < spinIters_) {
+            cpuRelax();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mu_);
+        done_.wait(lock, [this, n] {
+            return completed_.load(std::memory_order_relaxed) == n;
+        });
+        break;
+    }
 }
 
 /*
@@ -249,7 +309,8 @@ EventQueue::runBatched(Tick limit)
         exec_->computeBatch(batchEvents_.data(), batchEvents_.size(),
                             heavy);
 
-        for (const BatchMember &m : batch_) {
+        for (std::size_t i = 0; i < batch_.size(); ++i) {
+            const BatchMember &m = batch_[i];
             for (;;) {
                 popStale();
                 if (heap_.empty())
@@ -275,7 +336,8 @@ EventQueue::runBatched(Tick limit)
             ev->process();
             bumpEpochs(m.writtenGlobals);
             if (owned)
-                recycleLambda(static_cast<LambdaEvent *>(ev));
+                recycleLambda(static_cast<LambdaEvent *>(ev),
+                              exec_->laneOf(i));
             ++executed;
         }
     }

@@ -11,15 +11,28 @@
  *    invalidates every cached plan).
  *
  *  - ParallelExecutor: a worker pool that runs the read-only
- *    compute() phases of one batch concurrently. Each worker keeps
- *    per-worker statistics — the local-acquire discipline NUMA-aware
- *    event pools use, applied to compute slots instead of
- *    allocations (the events themselves stay in the queue's
- *    freelist, which only the committing coordinator touches) — and
- *    is optionally pinned to a host CPU (pinWorkers; off by default
- *    so concurrent machines don't stack on the same cores, and never
- *    applied to the coordinating thread, which belongs to the
- *    caller).
+ *    compute() phases of one batch concurrently. Lanes claim batch
+ *    members from a generation-tagged cursor; each claim is stamped
+ *    with the claiming lane (laneOf()), which the queue uses to
+ *    recycle pooled lambda events to that lane's freelist — the
+ *    local-acquire/remote-release discipline NUMA-aware event pools
+ *    use, so a wrapper's storage stays with the lane whose cache
+ *    last touched it. Workers are optionally pinned to a host CPU
+ *    (pinWorkers; off by default so concurrent machines don't stack
+ *    on the same cores, and never applied to the coordinating
+ *    thread, which belongs to the caller). On a single-CPU host the
+ *    pool computes inline instead of offloading (see offload_): a
+ *    wakeup there buys futex traffic, not parallelism.
+ *
+ *    Beyond batching, two per-event work sources move into compute():
+ *    IPI deliveries pre-probe the target TLB's invalidation walk
+ *    (Tlb::planInvalidateRange, validated by mutationSeq()), and the
+ *    ABIS-harvesting lazycache pressure actor pre-harvests per-page
+ *    sharer masks (offered to the policy, validated by the
+ *    SharerDirectory resource epoch). Both follow DESIGN.md §8.4:
+ *    a plan is applied only while its validator still matches, else
+ *    the commit recomputes fresh — wrong-plan results are impossible,
+ *    stale plans only cost the precompute.
  *
  * The batched run loop itself is EventQueue::runBatched(), defined in
  * parallel_exec.cc next to these helpers: it pops a contiguous
@@ -201,9 +214,15 @@ class ParallelExecutor
      *   machine's workers on the same low-numbered CPUs. The
      *   coordinator (lane 0) is never pinned; that thread belongs to
      *   the caller.
+     * @param forceOffload offload eligible batches even on a host
+     *   with a single CPU, where auto mode would run them inline
+     *   (offloading there can only add futex round-trips, never
+     *   parallelism). For tests that must observe worker-lane claims
+     *   regardless of the machine they run on.
      */
     explicit ParallelExecutor(unsigned threads,
-                              bool pinWorkers = false);
+                              bool pinWorkers = false,
+                              bool forceOffload = false);
 
     ~ParallelExecutor();
 
@@ -232,6 +251,19 @@ class ParallelExecutor
         return computedBy_.at(idx);
     }
 
+    /**
+     * The lane that computed member @p idx of the most recent
+     * computeBatch() (0 for inline batches). Valid until the next
+     * computeBatch(); the queue routes pooled events back to this
+     * lane's freelist — the remote-release half of the NUMA
+     * event-pool discipline.
+     */
+    unsigned
+    laneOf(std::size_t idx) const
+    {
+        return laneOf_[idx];
+    }
+
   private:
     /** Low bits of ticket_ holding the claim cursor. */
     static constexpr unsigned kCursorBits = 16;
@@ -252,26 +284,71 @@ class ParallelExecutor
     const bool pinWorkers_;
     Stats stats_;
     std::vector<std::uint64_t> computedBy_;
+    /**
+     * Per-member computing lane of the live batch, stamped by each
+     * claimant right after its claim CAS. Writes land on distinct
+     * indices (the cursor hands each index to exactly one lane) and
+     * the coordinator only reads them after the batch's completion
+     * barrier, so plain bytes suffice.
+     */
+    std::vector<std::uint8_t> laneOf_;
+
+    /**
+     * Iterations a lane spins on the ticket before falling back to a
+     * futex sleep. Batches arrive every few microseconds while the
+     * engine is hot, and one sleep/wake pair costs more than a whole
+     * batch of plan computes — so lanes stay awake across the gaps
+     * and the condition variables only catch genuinely idle phases
+     * (sequential stretches, the end of the run).
+     */
+    static constexpr unsigned kSpinIters = 4096;
+
+    /**
+     * Effective spin budget: kSpinIters when the host has a CPU per
+     * lane, 0 otherwise. On an oversubscribed host a spinning lane
+     * does not wait for work — it *prevents* it, by burning the
+     * timeslice the coordinator (or a straggler) needs; measured on
+     * a 1-CPU container, spinning turned a 1.05x-overhead run into a
+     * 3x slowdown. Sleep immediately there instead.
+     */
+    const unsigned spinIters_;
+
+    /**
+     * Whether eligible batches are offloaded at all. False on a
+     * single-CPU host (unless forced): with nowhere for a worker to
+     * run concurrently, every offload is a pure futex round-trip —
+     * the coordinator computes inline faster than it can wake anyone.
+     */
+    const bool offload_;
 
     std::mutex mu_;
     std::condition_variable wake_;
     std::condition_variable done_;
-    /** Batch handoff (guarded by mu_; indices claimed via ticket_). */
-    Event *const *events_ = nullptr;
-    std::size_t count_ = 0;
+    /**
+     * Batch descriptor. Published before the ticket's release store
+     * and read after its acquire load; they are atomic (relaxed)
+     * only because a worker whose generation tag is already stale
+     * may load them concurrently with the next batch's publish — it
+     * then claims nothing, but the load itself must not race.
+     */
+    std::atomic<Event *const *> events_{nullptr};
+    std::atomic<std::size_t> count_{0};
     /**
      * Generation-tagged claim ticket: bits [kCursorBits, 64) are the
      * (truncated) batch generation, bits [0, kCursorBits) the next
      * unclaimed index. Claims go through a CAS that the tag guards,
-     * so a worker that slept through a batch boundary — descriptor
-     * snapshot in hand, first claim not yet made — can never claim
-     * indices, run computes, or grow completed_ against a batch
-     * other than the one it was woken for.
+     * so a worker that slept (or spun) through a batch boundary —
+     * descriptor snapshot in hand, first claim not yet made — can
+     * never claim indices, run computes, or grow completed_ against
+     * a batch other than the one it was woken for. The tag doubles
+     * as the batch-publish flag the spin loops watch.
      */
     std::atomic<std::uint64_t> ticket_{0};
-    std::size_t completed_ = 0;
+    /** Computes finished in the live batch (claimants only). */
+    std::atomic<std::size_t> completed_{0};
+    std::atomic<bool> stop_{false};
+    /** Coordinator-private batch counter behind the ticket tag. */
     std::uint64_t generation_ = 0;
-    bool stop_ = false;
 
     std::vector<std::thread> workers_;
 };

@@ -272,13 +272,15 @@ LatrPolicy::sweep(CoreId core, Tick now)
 {
     // Consume this core's speculative plan one-shot: a plan is valid
     // only for the exact tick it was computed for and only while no
-    // state has been published since (the LatrPublish epoch). A
-    // stale plan is simply dropped — the fresh scan below is always
+    // active_ entry has been removed since it was taken (activeSeq_).
+    // States *published* since the plan are appends past the plan's
+    // activeSize and are reconciled below, so a plan survives even
+    // when earlier commits in its batch saved new states. A stale
+    // plan is simply dropped — the fresh scan below is always
     // correct, the plan is purely an acceleration.
     SweepPlan &plan = plans_[core];
-    const bool use_plan =
-        plan.valid && plan.forTick == now &&
-        plan.epoch == env_.queue->resourceEpoch(SimResource::LatrPublish);
+    const bool use_plan = plan.valid && plan.forTick == now &&
+                          plan.activeSeq == activeSeq_;
     plan.valid = false;
 
     sweepsCtr_.inc();
@@ -341,26 +343,35 @@ LatrPolicy::sweep(CoreId core, Tick now)
     };
 
     if (use_plan) {
-        // The plan is the subsequence of active_ that passed the
-        // phase/mask filter at plan time; no publish intervened
-        // (epoch check), so it is exactly the subsequence that would
-        // pass now — modulo members retired by earlier commits,
-        // which the visit's re-checks skip just like the fresh scan
-        // would.
+        // The plan is the subsequence of active_[0..activeSize) that
+        // passed the phase/mask filter at plan time. No removal
+        // intervened (activeSeq_ check) and the filter is monotone
+        // for existing entries — phases only leave Active and mask
+        // bits only clear, both re-checked by the visit — so over
+        // that prefix the planned visit equals a fresh scan. Entries
+        // past activeSize were published since the plan (possibly by
+        // earlier commits in this very batch) and are scanned fresh,
+        // in order, exactly as the fresh path would reach them.
         for (LatrState *state : plan.candidates)
             visit(state);
+        for (std::size_t i = plan.activeSize; i < active_.size(); ++i)
+            visit(active_[i]);
     } else {
         for (LatrState *state : active_)
             visit(state);
     }
 
-    // Compact: deactivated states left the Active phase.
+    // Compact: deactivated states left the Active phase. Removals
+    // shift indices, so outstanding plans die (activeSeq_).
+    const std::size_t live = active_.size();
     active_.erase(std::remove_if(active_.begin(), active_.end(),
                                  [](LatrState *s) {
                                      return s->phase !=
                                             LatrStatePhase::Active;
                                  }),
                   active_.end());
+    if (active_.size() != live)
+        ++activeSeq_;
 
     spent += matches * cost().latrSweepPerMatch;
     sweepMatchesCtr_.inc(matches);
@@ -399,12 +410,48 @@ LatrPolicy::deactivate(LatrState *state, Tick now)
     }
     state->phase = LatrStatePhase::PendingReclaim;
     pending_.push_back(state);
-    // A pass is already scheduled for savedAt + delay; if this
-    // deactivation happened later than that (a core swept very
-    // late), make sure another pass covers it.
-    scheduleReclaimPass(std::max(now, state->savedAt +
-                                          cost().latrReclaimDelay) +
-                        1);
+    // The save-time pass at savedAt + delay + 1 covers any state
+    // that deactivates within the aging window: by that tick the
+    // state is pending and old enough. Only a core that swept very
+    // late — at or after the tick that pass runs, so it may already
+    // have missed this state — needs a fresh pass.
+    if (now > state->savedAt + cost().latrReclaimDelay)
+        scheduleReclaimPass(now + 1);
+}
+
+void
+LatrPolicy::ReclaimPassEvent::process()
+{
+    policy->runReclaimPass(this);
+}
+
+bool
+LatrPolicy::ReclaimPassEvent::footprint(EventFootprint &fp) const
+{
+    // A reclaim pass frees frames (FrameAllocator), retires ring
+    // slots that publishes may immediately reuse (LatrPublish), and
+    // releases held-back VA ranges of whichever address spaces the
+    // eligible states reference — unknown until the pass runs, hence
+    // the all-spaces write. No reads: the plan is validated by
+    // pendingRemovalSeq_, not by batch admission.
+    fp.writeGlobal(SimResource::FrameAllocator);
+    fp.writeGlobal(SimResource::LatrPublish);
+    fp.writeAllSpaces();
+    return true;
+}
+
+void
+LatrPolicy::ReclaimPassEvent::compute()
+{
+    policy->planReclaimPass(this);
+}
+
+unsigned
+LatrPolicy::ReclaimPassEvent::computeWeight() const
+{
+    // Proportional to the pending_ walk the compute hoists; an empty
+    // list makes the plan trivial and not worth a worker wakeup.
+    return static_cast<unsigned>(policy->pending_.size());
 }
 
 void
@@ -412,19 +459,39 @@ LatrPolicy::scheduleReclaimPass(Tick eligible_at)
 {
     if (eligible_at < env_.queue->now())
         eligible_at = env_.queue->now();
-    // A reclaim pass frees frames (FrameAllocator), retires ring
-    // slots that publishes may immediately reuse (LatrPublish), and
-    // releases held-back VA ranges of whichever address spaces the
-    // eligible states reference — unknown at schedule time, hence
-    // the all-spaces write.
-    EventFootprint fp;
-    fp.writeGlobal(SimResource::FrameAllocator);
-    fp.writeGlobal(SimResource::LatrPublish);
-    fp.writeAllSpaces();
-    env_.queue->scheduleLambda(eligible_at, fp,
-                               [this, eligible_at]() {
-                                   reclaimPass(eligible_at);
-                               });
+    ReclaimPassEvent *ev;
+    if (!freeReclaimEvents_.empty()) {
+        ev = freeReclaimEvents_.back();
+        freeReclaimEvents_.pop_back();
+    } else {
+        reclaimEvents_.push_back(
+            std::make_unique<ReclaimPassEvent>());
+        ev = reclaimEvents_.back().get();
+        ev->policy = this;
+    }
+    ev->eligibleAt = eligible_at;
+    ev->planValid = false;
+    env_.queue->schedule(ev, eligible_at);
+}
+
+void
+LatrPolicy::planReclaimPass(ReclaimPassEvent *ev)
+{
+    // Read-only, possibly on a worker thread: partition pending_ by
+    // the pass's (fixed) eligibility cutoff. savedAt is immutable
+    // while a state is pending, so the predicate cannot change
+    // between this plan and the commit that applies it.
+    ev->reclaim.clear();
+    ev->keep.clear();
+    ev->removalSeq = pendingRemovalSeq_;
+    ev->pendingSize = pending_.size();
+    for (LatrState *state : pending_) {
+        if (ev->eligibleAt < state->savedAt + cost().latrReclaimDelay)
+            ev->keep.push_back(state);
+        else
+            ev->reclaim.push_back(state);
+    }
+    ev->planValid = true;
 }
 
 void
@@ -465,20 +532,56 @@ LatrPolicy::reclaimState(LatrState *state)
 }
 
 void
-LatrPolicy::reclaimPass(Tick now)
+LatrPolicy::runReclaimPass(ReclaimPassEvent *ev)
 {
-    std::vector<LatrState *> keep;
+    const Tick now = ev->eligibleAt;
+    // The sequential engine never computes, and a parallel plan dies
+    // if another pass reclaimed (removed from pending_) since it was
+    // taken. Appends since the plan are fine: they sit past
+    // pendingSize and get partitioned fresh below.
+    const bool use_plan =
+        ev->planValid && ev->removalSeq == pendingRemovalSeq_;
+    ev->planValid = false;
+
+    std::vector<LatrState *> &keep = reclaimScratch_;
+    keep.clear();
     keep.reserve(pending_.size());
-    for (LatrState *state : pending_) {
-        if (now < state->savedAt + cost().latrReclaimDelay) {
-            keep.push_back(state);
-            continue;
+    std::size_t reclaimed = 0;
+    if (use_plan) {
+        // Planned partition over the prefix the plan saw — reclaim
+        // and keep lists were built in pending_ order, so replaying
+        // reclaims then splicing keeps reproduces the fresh scan's
+        // order exactly.
+        for (LatrState *state : ev->reclaim) {
+            // Eligible: every TLB entry died (the state deactivated)
+            // and at least the aging window passed since the save.
+            reclaimState(state);
+            ++reclaimed;
         }
-        // Eligible: every TLB entry died (the state deactivated) and
-        // at least the aging window passed since the save.
-        reclaimState(state);
+        keep.insert(keep.end(), ev->keep.begin(), ev->keep.end());
+        for (std::size_t i = ev->pendingSize; i < pending_.size();
+             ++i) {
+            LatrState *state = pending_[i];
+            if (now < state->savedAt + cost().latrReclaimDelay) {
+                keep.push_back(state);
+                continue;
+            }
+            reclaimState(state);
+            ++reclaimed;
+        }
+    } else {
+        for (LatrState *state : pending_) {
+            if (now < state->savedAt + cost().latrReclaimDelay) {
+                keep.push_back(state);
+                continue;
+            }
+            reclaimState(state);
+            ++reclaimed;
+        }
     }
     pending_.swap(keep);
+    if (reclaimed > 0)
+        ++pendingRemovalSeq_;
 
     if (env_.config->latrTimeOnlyReclaim) {
         // The paper's pure time-bound reclamation: age alone makes a
@@ -504,8 +607,11 @@ LatrPolicy::reclaimPass(Tick now)
                                           LatrStatePhase::Active;
                                }),
                 active_.end());
+            ++activeSeq_; // removals invalidate outstanding plans
         }
     }
+
+    freeReclaimEvents_.push_back(ev);
 }
 
 void
@@ -528,10 +634,15 @@ LatrPolicy::onContextSwitch(CoreId core, Tick now)
 void
 LatrPolicy::addTickFootprint(CoreId, EventFootprint &fp) const
 {
-    // The plan scans active_ and each state's phase/cpuMask; both
-    // change only at publish time (tracked by the LatrPublish
-    // epoch) or through sweep retirements, which are plan-preserving
-    // by the DESIGN.md §8 argument and so stay undeclared.
+    // Correctness no longer needs this read: sweep plans are
+    // validated by activeSeq_ and reconcile appended states, so they
+    // survive same-batch publishes (DESIGN.md §8.4). The read is
+    // kept as a *pacing* declaration — it stops batch formation at
+    // the first tick after a publisher, which bounds how far the
+    // dispatcher speculates past the commit frontier and keeps
+    // freshly scheduled completions landing in *future* batches
+    // (where they get compute plans) instead of arriving as
+    // plan-less interlopers inside a huge open batch.
     fp.readGlobal(SimResource::LatrPublish);
 }
 
@@ -550,7 +661,8 @@ LatrPolicy::planSchedulerTick(CoreId core, Tick tick)
         }
     }
     plan.forTick = tick;
-    plan.epoch = env_.queue->resourceEpoch(SimResource::LatrPublish);
+    plan.activeSeq = activeSeq_;
+    plan.activeSize = active_.size();
     plan.valid = true;
 }
 

@@ -26,6 +26,7 @@
 #define LATR_TLBCOH_LATR_POLICY_HH_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -144,6 +145,46 @@ class LatrPolicy : public TlbCoherencePolicy
     /// @}
 
   private:
+    /**
+     * One scheduled background reclamation pass, pooled by the
+     * policy (acquire on schedule, recycle after commit). Its
+     * compute() phase partitions pending_ — the cache-missing walk
+     * over scattered ring slots that dominates the pass — into the
+     * reclaim/keep lists the commit will apply. The plan is
+     * validated by pendingRemovalSeq_: only a reclaim pass ever
+     * removes from (or reorders) pending_, every other mutation is a
+     * push_back, and a pending state's savedAt/phase are frozen
+     * until reclaimed — so an unchanged seq proves the planned
+     * partition over the first pendingSize entries is *exactly* what
+     * a fresh scan would produce, and entries appended since the
+     * plan are partitioned fresh at commit. No epoch needed: the
+     * validator is bumped on the only mutation path (DESIGN.md §8.4).
+     */
+    class ReclaimPassEvent final : public Event
+    {
+      public:
+        void process() override;
+        bool footprint(EventFootprint &fp) const override;
+        void compute() override;
+        unsigned computeWeight() const override;
+        const char *name() const override { return "latr-reclaim"; }
+
+      private:
+        friend class LatrPolicy;
+
+        LatrPolicy *policy = nullptr;
+        /** The pass's reclamation cutoff (the lambda's old arg). */
+        Tick eligibleAt = 0;
+        bool planValid = false;
+        /** pendingRemovalSeq_ snapshot the plan was taken under. */
+        std::uint64_t removalSeq = 0;
+        /** pending_.size() at plan time: later entries are appends. */
+        std::size_t pendingSize = 0;
+        /** Planned partition of pending_[0..pendingSize), in order. */
+        std::vector<LatrState *> reclaim;
+        std::vector<LatrState *> keep;
+    };
+
     /** Find an Empty slot in @p core's ring, or nullptr. */
     LatrState *allocSlot(CoreId core);
 
@@ -156,8 +197,15 @@ class LatrPolicy : public TlbCoherencePolicy
     /** Schedule a one-shot reclamation pass for @p state's age. */
     void scheduleReclaimPass(Tick eligible_at);
 
-    /** Free everything eligible at @p now. */
-    void reclaimPass(Tick now);
+    /** ReclaimPassEvent::compute(): build @p ev's reclaim/keep plan. */
+    void planReclaimPass(ReclaimPassEvent *ev);
+
+    /**
+     * ReclaimPassEvent::process(): free everything eligible at the
+     * pass cutoff — via the validated plan or a fresh scan — then
+     * recycle @p ev.
+     */
+    void runReclaimPass(ReclaimPassEvent *ev);
 
     /** Release one state's pages/VA and empty the slot. */
     void reclaimState(LatrState *state);
@@ -172,22 +220,49 @@ class LatrPolicy : public TlbCoherencePolicy
      * One core's speculative sweep plan, filled by
      * planSchedulerTick() (worker thread) and consumed by the next
      * sweep() commit on that core. Valid only for the exact tick it
-     * was planned for and while the LatrPublish epoch is unchanged —
-     * anything else falls back to the fresh active_ scan, which is
-     * always correct. The candidates vector is reused tick to tick,
-     * so steady state allocates nothing.
+     * was planned for and while activeSeq_ is unchanged, i.e. while
+     * no active_ entry has been removed or reordered since the plan
+     * was taken. Publishes *append* to active_, so a valid plan is
+     * reconciled at commit by additionally scanning the entries past
+     * activeSize — together with the per-candidate phase/mask
+     * re-checks that makes the planned visit exactly equal to a
+     * fresh scan (DESIGN.md §8.4), even when earlier batch members
+     * published new states. Anything else falls back to the fresh
+     * active_ scan, which is always correct. The candidates vector
+     * is reused tick to tick, so steady state allocates nothing.
      */
     struct SweepPlan
     {
         bool valid = false;
         Tick forTick = 0;
-        std::uint64_t epoch = 0;
+        /** activeSeq_ snapshot the plan was computed under. */
+        std::uint64_t activeSeq = 0;
+        /** active_.size() at plan time: later entries are appends. */
+        std::size_t activeSize = 0;
         std::vector<LatrState *> candidates;
     };
 
     std::vector<std::vector<LatrState>> rings_; // per core
     std::vector<LatrState *> active_;
     std::vector<LatrState *> pending_;
+
+    /**
+     * Bumped whenever entries are *removed* from active_ (sweep
+     * compaction, time-only reclamation) — appends do not bump it.
+     * Sweep plans snapshot it; a match proves every entry the plan
+     * saw still sits at the same index, so the plan plus an
+     * appended-tail scan covers exactly what a fresh scan would.
+     */
+    std::uint64_t activeSeq_ = 0;
+
+    /** Same discipline for pending_: bumped by reclaiming passes. */
+    std::uint64_t pendingRemovalSeq_ = 0;
+
+    /** Pooled pass events (owners) and the recycled free list. */
+    std::vector<std::unique_ptr<ReclaimPassEvent>> reclaimEvents_;
+    std::vector<ReclaimPassEvent *> freeReclaimEvents_;
+    /** Commit-phase scratch for the new pending_ (reused). */
+    std::vector<LatrState *> reclaimScratch_;
 
     /**
      * Cores some active state may still address: set (ORed) whenever

@@ -222,6 +222,25 @@ class TlbCoherencePolicy
     virtual bool tickPlanIsHeavy(CoreId core) const;
 
     /**
+     * Offer a precomputed sharer harvest for the next free operation
+     * on @p mm covering exactly [@p start_vpn, @p end_vpn]: @p mask
+     * is the union of the range's per-page sharer sets as probed by
+     * a compute() phase, and the *offerer* has already validated it
+     * (against SimResource::SharerDirectory's epoch) as current.
+     * One-shot: the policy consumes or discards it on its next
+     * onFreePages() call. Policies that never harvest sharer sets
+     * ignore the offer (the default).
+     */
+    virtual void offerSharerHarvest(AddressSpace *mm, Vpn start_vpn,
+                                    Vpn end_vpn, const CpuMask &mask)
+    {
+        (void)mm;
+        (void)start_vpn;
+        (void)end_vpn;
+        (void)mask;
+    }
+
+    /**
      * Invariant the parallel engine leans on: any code path that
      * *publishes* coherence state other events plan against (LATR
      * state saves, ring refills) must run either driver-side, from

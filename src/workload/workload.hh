@@ -77,6 +77,21 @@ class CoreActor
         return false;
     }
 
+    /**
+     * Optional read-only speculation for the next step(), run in the
+     * step event's compute() phase — possibly on a worker thread,
+     * concurrently with other events' computes. It may read only
+     * state stepFootprint() declares read, must leave every member
+     * the step mutates (including RNGs) untouched, and stores its
+     * result in actor-local plan scratch that step() validates
+     * against a resource epoch and may discard. The sequential
+     * engine never calls it.
+     */
+    virtual void stepCompute() {}
+
+    /** Rough cost of stepCompute() (0 = trivial, run inline). */
+    virtual unsigned stepComputeWeight() const { return 0; }
+
     Machine &machine() { return machine_; }
     Kernel &kernel() { return machine_.kernel(); }
     CoreId core() const { return task_->core(); }
@@ -90,6 +105,11 @@ class CoreActor
         bool footprint(EventFootprint &fp) const override
         {
             return actor_->stepFootprint(fp);
+        }
+        void compute() override { actor_->stepCompute(); }
+        unsigned computeWeight() const override
+        {
+            return actor_->stepComputeWeight();
         }
         const char *name() const override { return "actor-step"; }
 

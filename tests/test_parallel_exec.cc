@@ -12,12 +12,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/executor.hh"
 #include "check/fuzzer.hh"
 #include "check/script.hh"
+#include "hw/tlb.hh"
 #include "machine/machine.hh"
 #include "os/kernel.hh"
 #include "sim/event_queue.hh"
@@ -99,6 +102,40 @@ coreWrite(CoreId core)
     fp.writeCore(core);
     return fp;
 }
+
+/**
+ * A declared heavy event whose compute() holds its lane long enough
+ * for the OS to schedule the other lanes — even on a single-CPU
+ * host — so claim-distribution tests don't depend on the coordinator
+ * losing a race it usually wins.
+ */
+class SleepyEvent : public Event
+{
+  public:
+    explicit SleepyEvent(const EventFootprint &fp) : fp_(fp) {}
+
+    bool
+    footprint(EventFootprint &fp) const override
+    {
+        fp = fp_;
+        return true;
+    }
+
+    void
+    compute() override
+    {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+
+    unsigned computeWeight() const override { return 1; }
+
+    void process() override {}
+
+    const char *name() const override { return "sleepy"; }
+
+  private:
+    EventFootprint fp_;
+};
 
 /**
  * Overlapping footprints must serialize: an event that declares a
@@ -314,7 +351,9 @@ TEST(ParallelExec, BackToBackBatchesKeepClaimsInGeneration)
     constexpr int kWriters = 8;
 
     EventQueue q;
-    ParallelExecutor exec(4);
+    // forceOffload: the claim-ticket protocol must be exercised even
+    // on a single-CPU host, where auto mode would run inline.
+    ParallelExecutor exec(4, false, true);
     q.setParallelExecutor(&exec);
 
     int shared = 0;
@@ -347,6 +386,202 @@ TEST(ParallelExec, BackToBackBatchesKeepClaimsInGeneration)
         computed += exec.computedBy(lane);
     EXPECT_EQ(computed, static_cast<std::uint64_t>(id));
     EXPECT_GT(exec.stats().parallelBatches, 100u);
+}
+
+/**
+ * Heavy computes of one offloaded batch must spread over the worker
+ * lanes, not funnel through the coordinator. Each compute blocks its
+ * lane long enough that other lanes get scheduled and claim from the
+ * shared cursor; afterwards at least two lanes must report claims and
+ * the per-lane counters must account for every compute exactly once.
+ */
+TEST(ParallelExec, ComputeClaimsDistributeAcrossLanes)
+{
+    constexpr int kEvents = 64;
+
+    EventQueue q;
+    // forceOffload: distribution must be observable even on a
+    // single-CPU host where auto mode would run the batch inline.
+    ParallelExecutor exec(4, false, true);
+    q.setParallelExecutor(&exec);
+
+    std::vector<SleepyEvent> events;
+    events.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+        events.emplace_back(coreWrite(static_cast<CoreId>(i)));
+        q.schedule(&events.back(), 10);
+    }
+    q.run();
+
+    std::uint64_t total = 0;
+    unsigned active = 0;
+    for (unsigned lane = 0; lane < exec.threads(); ++lane) {
+        total += exec.computedBy(lane);
+        if (exec.computedBy(lane) > 0)
+            ++active;
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(kEvents));
+    EXPECT_GE(active, 2u);
+    EXPECT_EQ(exec.stats().parallelBatches, 1u);
+}
+
+/**
+ * The IPI delivery path precomputes the target TLB's invalidation
+ * walk and replays it only while the TLB's mutation sequence still
+ * matches (DESIGN.md §8.4). An interloper touching the target TLB
+ * between probe and apply must void the plan, and the fresh
+ * invalidateRange() fallback must leave the TLB in exactly the state
+ * a never-planned twin reaches.
+ */
+TEST(ParallelExec, InvalidationPlanGoesStaleOnTargetTlbMutation)
+{
+    Tlb planned(0, 8, 32, 4);
+    Tlb twin(1, 8, 32, 4);
+    for (Vpn v = 0; v < 24; ++v) {
+        planned.insert(v, 0x1000 + v, 1);
+        twin.insert(v, 0x1000 + v, 1);
+    }
+
+    Tlb::InvalidationPlan plan;
+    planned.planInvalidateRange(4, 11, 1, &plan);
+    ASSERT_TRUE(plan.valid);
+    // Probing is read-only: the plan it produced is still fresh.
+    EXPECT_EQ(plan.seq, planned.mutationSeq());
+
+    // Interloper: any mutation of the target TLB between the probe
+    // and the delivery commit (here an insert, as a concurrent fault
+    // would do) bumps the sequence and must reject the plan.
+    planned.insert(200, 0x1200, 1);
+    EXPECT_FALSE(planned.applyInvalidationPlan(plan));
+    // The delivery handler's fallback: a fresh walk.
+    planned.invalidateRange(4, 11, 1);
+    twin.insert(200, 0x1200, 1);
+    twin.invalidateRange(4, 11, 1);
+
+    // A plan applied under a matching sequence replays exactly.
+    Tlb::InvalidationPlan fresh;
+    planned.planInvalidateRange(0, 3, 1, &fresh);
+    ASSERT_TRUE(fresh.valid);
+    EXPECT_TRUE(planned.applyInvalidationPlan(fresh));
+    twin.invalidateRange(0, 3, 1);
+
+    for (Vpn v = 0; v < 24; ++v) {
+        Pfn a = 0;
+        Pfn b = 0;
+        EXPECT_EQ(planned.lookup(v, 1, &a), twin.lookup(v, 1, &b))
+            << "vpn " << v;
+        EXPECT_EQ(a, b) << "vpn " << v;
+    }
+}
+
+/**
+ * The ABIS sharer harvest offered from a workload's compute() phase
+ * substitutes for the commit-time walk only when the free's actual
+ * shape is exactly the single page the offer covered; any mismatch
+ * discards the offer and harvests fresh. Observed through the policy
+ * counters: a consumed empty offer suppresses the remote interrupt a
+ * fresh walk would send, a mismatched one does not.
+ */
+TEST(ParallelExec, AbisHarvestOfferConsumedOnlyOnExactShape)
+{
+    Machine machine(MachineConfig::commodity2S16C(),
+                    PolicyKind::Abis);
+    Kernel &kernel = machine.kernel();
+    Process *proc = kernel.createProcess("share");
+    Task *t0 = kernel.spawnTask(proc, 0);
+    Task *t1 = kernel.spawnTask(proc, 1);
+    SyscallResult m =
+        kernel.mmap(t0, 4 * kPageSize, kProtRead | kProtWrite);
+    ASSERT_TRUE(m.ok);
+
+    // Touch every page from both cores so each has sharers {0, 1};
+    // refaults pages a previous case freed.
+    auto shareAll = [&]() {
+        for (std::uint64_t pg = 0; pg < 4; ++pg) {
+            kernel.touch(t0, m.addr + pg * kPageSize, true);
+            kernel.touch(t1, m.addr + pg * kPageSize, false);
+        }
+        machine.run(100 * kUsec);
+    };
+    auto interrupts = [&]() {
+        return machine.stats().counterValue("coh.remote_interrupts");
+    };
+    auto avoided = [&]() {
+        return machine.stats().counterValue("abis.shootdowns_avoided");
+    };
+
+    // Baseline, no offer: the fresh harvest finds core 1 sharing the
+    // page and interrupts it.
+    shareAll();
+    std::uint64_t before = interrupts();
+    kernel.madviseFree(t0, m.addr, kPageSize);
+    machine.run(500 * kUsec);
+    EXPECT_GT(interrupts(), before);
+
+    // A matching offer is consumed: an empty precomputed mask for
+    // exactly this page replaces the walk, so no core is interrupted
+    // and the avoidance is counted.
+    shareAll();
+    before = interrupts();
+    const std::uint64_t avoidedBefore = avoided();
+    const Vpn vpn1 = pageOf(m.addr + kPageSize);
+    machine.policy().offerSharerHarvest(&t0->mm(), vpn1, vpn1,
+                                        CpuMask());
+    kernel.madviseFree(t0, m.addr + kPageSize, kPageSize);
+    machine.run(500 * kUsec);
+    EXPECT_EQ(interrupts(), before);
+    EXPECT_EQ(avoided(), avoidedBefore + 1);
+
+    // A stale offer naming a different range is discarded: the fresh
+    // walk still finds core 1 and interrupts it.
+    shareAll();
+    before = interrupts();
+    const Vpn vpn2 = pageOf(m.addr + 2 * kPageSize);
+    machine.policy().offerSharerHarvest(&t0->mm(), vpn2 + 1, vpn2 + 1,
+                                        CpuMask());
+    kernel.madviseFree(t0, m.addr + 2 * kPageSize, kPageSize);
+    machine.run(500 * kUsec);
+    EXPECT_GT(interrupts(), before);
+}
+
+/**
+ * Pooled lambda wrappers follow the executor's lanes: attaching an
+ * N-lane executor gives the queue N freelists, every wrapper a batch
+ * commits is recycled (to the lane that computed it), and detaching
+ * the executor folds the worker-lane pools back into lane 0 instead
+ * of dropping the warm wrappers.
+ */
+TEST(ParallelExec, LambdaPoolsFollowExecutorLanes)
+{
+    constexpr int kLambdas = 24;
+
+    EventQueue q;
+    EXPECT_EQ(q.lambdaLanes(), 1u);
+    ParallelExecutor exec(4, false, true);
+    q.setParallelExecutor(&exec);
+    EXPECT_EQ(q.lambdaLanes(), 4u);
+
+    // Two heavy events make the batch eligible for offload, so
+    // worker lanes may claim (and later receive) lambda wrappers.
+    SleepyEvent heavyA(coreWrite(100));
+    SleepyEvent heavyB(coreWrite(101));
+    q.schedule(&heavyA, 10);
+    q.schedule(&heavyB, 10);
+    int ran = 0;
+    for (int i = 0; i < kLambdas; ++i)
+        q.scheduleLambda(10, coreWrite(static_cast<CoreId>(i)),
+                         [&ran]() { ++ran; });
+    q.run();
+    EXPECT_EQ(ran, kLambdas);
+
+    std::size_t pooled = 0;
+    for (unsigned lane = 0; lane < q.lambdaLanes(); ++lane)
+        pooled += q.lambdaPoolSize(lane);
+    EXPECT_EQ(pooled, static_cast<std::size_t>(kLambdas));
+
+    q.setParallelExecutor(nullptr);
+    EXPECT_EQ(q.lambdaLanes(), 1u);
+    EXPECT_EQ(q.lambdaPoolSize(0), static_cast<std::size_t>(kLambdas));
 }
 
 /** The batched engine honors the run limit like the sequential one. */
