@@ -11,14 +11,17 @@
 //                  microbenchmark back-to-back under Linux and LATR,
 //                  measuring end-to-end simulated events per second of
 //                  wall time.
-//   big_machine  — the 8-socket/120-core box under LATR and ABIS:
-//                  twenty publisher processes flood the LATR state
-//                  rings with AutoNUMA samples and munmaps while a
-//                  hundred oversubscribed cores tick, sweep, and
-//                  periodically take a machine-wide synchronous
-//                  shootdown. The scenario the tick wheel, the
-//                  sweep-elision mask, and the flat sharer map
-//                  exist for.
+//   big_machine  — the 8-socket/120-core box under LATR, ABIS, and
+//                  the Predictive policy: twenty publisher processes
+//                  flood the LATR state rings with AutoNUMA samples
+//                  and munmaps while a hundred oversubscribed cores
+//                  tick, sweep, and periodically take a machine-wide
+//                  synchronous shootdown. The scenario the tick
+//                  wheel, the sweep-elision mask, the flat sharer
+//                  map, and the sharer perceptron exist for. The
+//                  per-policy `coh.remote_interrupts` counts feed a
+//                  hard gate: Predictive must deliver >= 40% fewer
+//                  IPIs than full-mask LATR (exit 4 otherwise).
 //
 // The machine scenarios run twice: on the classic sequential engine
 // and on the parallel batched engine (`--sim-threads=N`, default 4;
@@ -75,12 +78,51 @@ struct ScenarioResult
     const char *name;
     std::uint64_t events;
     double wallSec;
+    /**
+     * FNV digest over every constituent machine's full stat dump,
+     * folded across the scenario's policies. The sequential/_tN
+     * pairs must match on this too — "same event count" alone
+     * would let a counter-shifting engine bug slip through.
+     */
+    std::uint64_t statsDigest = 0;
 
     double
     eventsPerSec() const
     {
         return wallSec > 0 ? static_cast<double>(events) / wallSec
                            : 0.0;
+    }
+};
+
+std::uint64_t
+fnvString(std::uint64_t h, const std::string &s)
+{
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Per-policy IPI fan-out of one big_machine run (the pred gate). */
+struct BigMachineCounters
+{
+    std::uint64_t latrIpis = 0;
+    std::uint64_t abisIpis = 0;
+    std::uint64_t predIpis = 0;
+    std::uint64_t predSaved = 0;
+    std::uint64_t predMispredicts = 0;
+    std::uint64_t predFallbacks = 0;
+    std::uint64_t predVerifies = 0;
+
+    /** Fractional IPI-delivery reduction of Predictive vs LATR. */
+    double
+    reductionVsLatr() const
+    {
+        return latrIpis > 0
+                   ? 1.0 - static_cast<double>(predIpis) /
+                               static_cast<double>(latrIpis)
+                   : 0.0;
     }
 };
 
@@ -189,6 +231,7 @@ runMunmapStorm(const char *name, bool no_fastpath,
 {
     std::uint64_t events = 0;
     double wall = 0;
+    std::uint64_t digest = 1469598103934665603ULL;
     for (PolicyKind policy :
          {PolicyKind::LinuxSync, PolicyKind::Latr}) {
         MachineConfig config = MachineConfig::commodity2S16C();
@@ -206,8 +249,9 @@ runMunmapStorm(const char *name, bool no_fastpath,
         runMunmapMicrobench(machine, cfg);
         wall += wallSeconds(start);
         events += machine.queue().executed();
+        digest = fnvString(digest, machine.stats().dump());
     }
-    return {name, events, wall};
+    return {name, events, wall, digest};
 }
 
 /**
@@ -224,10 +268,18 @@ runMunmapStorm(const char *name, bool no_fastpath,
  * iteration a sync munmap from a global task IPIs the whole 100-core
  * residency mask (the word-at-a-time fan-out path). The simulated
  * result must not change either way.
+ *
+ * The scenario now also runs under the Predictive policy: the same
+ * wide residency masks are the sharer-prediction target — after a
+ * training op or two the perceptron narrows each shootdown to the
+ * cores that actually faulted the pages in, and the per-policy
+ * `coh.remote_interrupts` deltas captured in @p counters feed the
+ * >= 40%-fewer-IPIs gate in main().
  */
 ScenarioResult
 runBigMachine(const char *name, bool no_fastpath,
-              unsigned sim_threads, bool pin_sim_threads)
+              unsigned sim_threads, bool pin_sim_threads,
+              BigMachineCounters *counters)
 {
     constexpr unsigned kPublishers = 20;
     constexpr unsigned kIterations = 400;
@@ -237,7 +289,9 @@ runBigMachine(const char *name, bool no_fastpath,
 
     std::uint64_t events = 0;
     double wall = 0;
-    for (PolicyKind policy : {PolicyKind::Latr, PolicyKind::Abis}) {
+    std::uint64_t digest = 1469598103934665603ULL;
+    for (PolicyKind policy : {PolicyKind::Latr, PolicyKind::Abis,
+                              PolicyKind::Predictive}) {
         MachineConfig config = MachineConfig::largeNuma8S120C();
         config.noFastpath = no_fastpath;
         config.simThreads = sim_threads;
@@ -322,8 +376,29 @@ runBigMachine(const char *name, bool no_fastpath,
         machine.run(6 * kMsec);
         wall += wallSeconds(start);
         events += machine.queue().executed();
+        digest = fnvString(digest, machine.stats().dump());
+        if (counters) {
+            const std::uint64_t ipis = machine.stats().counterValue(
+                "coh.remote_interrupts");
+            if (policy == PolicyKind::Latr)
+                counters->latrIpis = ipis;
+            else if (policy == PolicyKind::Abis)
+                counters->abisIpis = ipis;
+            else if (policy == PolicyKind::Predictive) {
+                counters->predIpis = ipis;
+                counters->predSaved = machine.stats().counterValue(
+                    "pred.ipis_saved");
+                counters->predMispredicts =
+                    machine.stats().counterValue("pred.mispredicts");
+                counters->predFallbacks =
+                    machine.stats().counterValue(
+                        "pred.fallback_shootdowns");
+                counters->predVerifies =
+                    machine.stats().counterValue("pred.verifies");
+            }
+        }
     }
-    return {name, events, wall};
+    return {name, events, wall, digest};
 }
 
 /**
@@ -415,6 +490,7 @@ main(int argc, char **argv)
     // exact same event count: the parallel engine is a host-speed
     // knob, never a model change.
     std::vector<ScenarioResult> results;
+    BigMachineCounters bigSeq, bigThr;
     results.push_back(runEventChurn());
     results.push_back(runTlbChurn());
     results.push_back(
@@ -422,9 +498,9 @@ main(int argc, char **argv)
     results.push_back(runMunmapStorm(threadedStorm, noFastpath,
                                      simThreads, pinSim));
     results.push_back(
-        runBigMachine("big_machine", noFastpath, 0, false));
-    results.push_back(
-        runBigMachine(threadedBig, noFastpath, simThreads, pinSim));
+        runBigMachine("big_machine", noFastpath, 0, false, &bigSeq));
+    results.push_back(runBigMachine(threadedBig, noFastpath,
+                                    simThreads, pinSim, &bigThr));
 
     double stormEps = 0;
     double bigEps = 0;
@@ -438,6 +514,21 @@ main(int argc, char **argv)
             .num("events", r.events)
             .num("wall_sec", r.wallSec)
             .num("events_per_sec", r.eventsPerSec());
+        // The big_machine rows carry the sharer-prediction fan-out
+        // numbers: per-policy delivered IPIs and the reduction the
+        // perceptron buys over full-mask LATR.
+        if (std::strncmp(r.name, "big_machine", 11) == 0) {
+            const BigMachineCounters &bc =
+                (i & 1) ? bigThr : bigSeq;
+            json.num("ipis_latr", bc.latrIpis)
+                .num("ipis_abis", bc.abisIpis)
+                .num("ipis_pred", bc.predIpis)
+                .num("pred_ipi_reduction", bc.reductionVsLatr())
+                .num("pred_ipis_saved", bc.predSaved)
+                .num("pred_mispredicts", bc.predMispredicts)
+                .num("pred_fallback_shootdowns", bc.predFallbacks)
+                .num("pred_verifies", bc.predVerifies);
+        }
         // Machine scenarios arrive as (sequential, _tN) pairs; record
         // the measured ratio on the threaded row. Host-dependent, so
         // it rides next to the host_cpus config rather than gating
@@ -465,13 +556,63 @@ main(int argc, char **argv)
                     results[i + 1].events));
             return 3;
         }
+        if (results[i].statsDigest != results[i + 1].statsDigest) {
+            std::fprintf(
+                stderr,
+                "bench_engine: %s stat digest %016llx != %s stat "
+                "digest %016llx — counters diverged between the "
+                "sequential and parallel engines\n",
+                results[i].name,
+                static_cast<unsigned long long>(
+                    results[i].statsDigest),
+                results[i + 1].name,
+                static_cast<unsigned long long>(
+                    results[i + 1].statsDigest));
+            return 3;
+        }
     }
+
+    // The sharer-prediction fan-out gate: on the wide-mask scenario
+    // the perceptron must deliver at least 40% fewer IPIs than
+    // full-mask LATR, or the predictor has regressed into predicting
+    // (nearly) everyone. Simulated counters, so this is exact and
+    // host-independent; the digest check above already proved the
+    // threaded run's counters identical.
+    constexpr double kMinPredReduction = 0.40;
+    std::printf("pred gate [big_machine]: LATR %llu IPIs, Predictive "
+                "%llu (%.1f%% reduction, floor %.0f%%, %llu "
+                "mispredicted entries, %llu fallback shootdowns): "
+                "%s\n",
+                static_cast<unsigned long long>(bigSeq.latrIpis),
+                static_cast<unsigned long long>(bigSeq.predIpis),
+                100.0 * bigSeq.reductionVsLatr(),
+                100.0 * kMinPredReduction,
+                static_cast<unsigned long long>(
+                    bigSeq.predMispredicts),
+                static_cast<unsigned long long>(bigSeq.predFallbacks),
+                bigSeq.reductionVsLatr() >= kMinPredReduction
+                    ? "ok"
+                    : "REGRESSION");
+    if (bigSeq.reductionVsLatr() < kMinPredReduction) {
+        std::fprintf(stderr,
+                     "bench_engine: Predictive delivered %llu IPIs "
+                     "vs LATR's %llu on big_machine — below the "
+                     "%.0f%% reduction floor\n",
+                     static_cast<unsigned long long>(bigSeq.predIpis),
+                     static_cast<unsigned long long>(bigSeq.latrIpis),
+                     100.0 * kMinPredReduction);
+        return 4;
+    }
+
     bench::measuredHeadline(
-        "munmap_storm %.0f events/sec, big_machine %.0f events/sec",
-        stormEps, bigEps);
+        "munmap_storm %.0f events/sec, big_machine %.0f events/sec, "
+        "pred IPI fan-out -%.1f%% vs LATR",
+        stormEps, bigEps, 100.0 * bigSeq.reductionVsLatr());
     json.headline(
-        "munmap_storm %.0f events/sec, big_machine %.0f events/sec",
-        stormEps, bigEps);
+        "munmap_storm %.0f events/sec, big_machine %.0f events/sec, "
+        "pred IPI fan-out -%.1f%% vs LATR",
+        stormEps, bigEps, 100.0 * bigSeq.reductionVsLatr());
+    json.baselineFile(checkAgainst);
     json.write(bench::jsonPathFromArgs(argc, argv));
 
     if (!checkAgainst.empty()) {

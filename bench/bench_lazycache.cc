@@ -155,6 +155,11 @@ main(int argc, char **argv)
     rows.push_back(runPolicy("lazycache_barrelfish",
                              PolicyKind::Barrelfish, 0, false,
                              scenario));
+    // Sharer prediction under the densest free-then-reuse traffic in
+    // the repo: MADV_FREE bursts train and stress the perceptron's
+    // verify/fallback path.
+    rows.push_back(runPolicy("lazycache_pred", PolicyKind::Predictive,
+                             0, false, scenario));
     rows.push_back(runPolicy(linuxT, PolicyKind::LinuxSync,
                              simThreads, pinSim, scenario));
     rows.push_back(runPolicy(latrT, PolicyKind::Latr, simThreads,
@@ -254,6 +259,7 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(latrFallbacks));
     json.headline("LATR %.2fM events/s vs Linux %.2fM events/s",
                   latrEvents / 1e6, linuxEvents / 1e6);
+    json.baselineFile(checkAgainst);
     json.write(bench::jsonPathFromArgs(argc, argv));
 
     if (!checkAgainst.empty()) {

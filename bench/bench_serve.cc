@@ -1,12 +1,15 @@
 // bench_serve: the open-loop serving scenario (src/serve/) across
 // every coherence policy — the tail-latency figure the paper leads
 // with. One .latrace arrival stream is generated once (seeded, so
-// byte-stable) and replayed against all four policies; the rows
+// byte-stable) and replayed against all five policies; the rows
 // report p50/p99/p999 request latency, completed requests/s, and the
-// run digest.
+// run digest. `--per-tenant` additionally keeps one latency
+// histogram per tenant slot and emits tenantN_p99_us fields on every
+// JSON row.
 //
-// The LATR and Linux rows also run on the parallel batched engine
-// (`--sim-threads=N`, default 4) as serve_latr_tN / serve_linux_tN.
+// The LATR, Linux, and Predictive rows also run on the parallel
+// batched engine (`--sim-threads=N`, default 4) as serve_latr_tN /
+// serve_linux_tN / serve_pred_tN.
 // Simulated results must be byte-identical to the sequential rows —
 // the bench exits 3 if a digest diverges, a standing record/replay +
 // parallel-engine equivalence check.
@@ -55,14 +58,15 @@ struct ServeRow
 
 ServeRow
 runPolicy(const std::string &name, PolicyKind kind,
-          unsigned sim_threads, bool pin, const Latrace &trace)
+          unsigned sim_threads, bool pin, const Latrace &trace,
+          const ServeOptions &options)
 {
     MachineConfig config = MachineConfig::commodity2S16C();
     config.simThreads = sim_threads;
     config.pinSimThreads = pin;
     Machine machine(config, kind);
     const auto start = std::chrono::steady_clock::now();
-    ServeResult result = runServeTrace(machine, trace);
+    ServeResult result = runServeTrace(machine, trace, options);
     const double wall =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
@@ -107,6 +111,7 @@ main(int argc, char **argv)
     std::string checkAgainst;
     double maxRegression = 0.30;
     double minSpeedup = 1.3;
+    ServeOptions serveOptions;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--check-against=", 16) == 0)
             checkAgainst = argv[i] + 16;
@@ -114,6 +119,8 @@ main(int argc, char **argv)
             maxRegression = std::atof(argv[i] + 17);
         else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0)
             minSpeedup = std::atof(argv[i] + 14);
+        else if (std::strcmp(argv[i], "--per-tenant") == 0)
+            serveOptions.perTenantLatency = true;
     }
     if (maxRegression > 1.0)
         maxRegression /= 100.0;
@@ -145,26 +152,36 @@ main(int argc, char **argv)
                 "p50_us", "p99_us", "p999_us", "req/s");
     bench::rule();
 
-    char latrT[32], linuxT[32];
+    char latrT[32], linuxT[32], predT[32];
     std::snprintf(latrT, sizeof latrT, "serve_latr_t%u", simThreads);
     std::snprintf(linuxT, sizeof linuxT, "serve_linux_t%u",
                   simThreads);
+    std::snprintf(predT, sizeof predT, "serve_pred_t%u", simThreads);
 
     std::vector<ServeRow> rows;
     rows.push_back(
         runPolicy("serve_linux", PolicyKind::LinuxSync, 0, false,
-                  trace));
-    rows.push_back(
-        runPolicy("serve_latr", PolicyKind::Latr, 0, false, trace));
-    rows.push_back(
-        runPolicy("serve_abis", PolicyKind::Abis, 0, false, trace));
+                  trace, serveOptions));
+    rows.push_back(runPolicy("serve_latr", PolicyKind::Latr, 0,
+                             false, trace, serveOptions));
+    rows.push_back(runPolicy("serve_abis", PolicyKind::Abis, 0,
+                             false, trace, serveOptions));
     rows.push_back(runPolicy("serve_barrelfish",
-                             PolicyKind::Barrelfish, 0, false,
-                             trace));
+                             PolicyKind::Barrelfish, 0, false, trace,
+                             serveOptions));
+    rows.push_back(runPolicy("serve_pred", PolicyKind::Predictive, 0,
+                             false, trace, serveOptions));
     rows.push_back(runPolicy(linuxT, PolicyKind::LinuxSync,
-                             simThreads, pinSim, trace));
-    rows.push_back(
-        runPolicy(latrT, PolicyKind::Latr, simThreads, pinSim, trace));
+                             simThreads, pinSim, trace,
+                             serveOptions));
+    rows.push_back(runPolicy(latrT, PolicyKind::Latr, simThreads,
+                             pinSim, trace, serveOptions));
+    // The threaded Predictive row is the end-to-end check for the
+    // offloaded prediction-verify compute() phase under real serving
+    // load; its digest must match serve_pred's.
+    rows.push_back(runPolicy(predT, PolicyKind::Predictive,
+                             simThreads, pinSim, trace,
+                             serveOptions));
 
     // The _tN-vs-sequential wall-clock ratio, the number the parallel
     // engine exists for. Host-dependent (unlike everything simulated
@@ -196,8 +213,12 @@ main(int argc, char **argv)
         .config("seed", scenario.seed)
         .config("jobs", std::uint64_t{1});
 
+    if (serveOptions.perTenantLatency)
+        json.config("per_tenant", std::uint64_t{1});
+
     double linuxP99 = 0;
     double latrP99 = 0;
+    double predP99 = 0;
     for (const ServeRow &row : rows) {
         const ServeResult &r = row.result;
         std::printf("%-16s | %9.1f %9.1f %9.1f | %10.0f\n",
@@ -220,11 +241,22 @@ main(int argc, char **argv)
             .num("wall_sec", row.wallSec);
         if (row.simThreads > 0)
             jr.num("speedup_vs_seq", row.speedup);
+        // Per-tenant tail view (--per-tenant): one p99/count pair
+        // per tenant slot, aggregated across churn generations.
+        for (std::size_t t = 0; t < r.tenantLatency.size(); ++t) {
+            char key[40];
+            std::snprintf(key, sizeof key, "tenant%zu_p99_us", t);
+            jr.num(key, bench::us(r.tenantLatency[t].percentile(0.99)));
+            std::snprintf(key, sizeof key, "tenant%zu_completed", t);
+            jr.num(key, r.tenantLatency[t].count());
+        }
         jr.str("digest", digest);
         if (row.name == "serve_linux")
             linuxP99 = bench::us(r.p99());
         else if (row.name == "serve_latr")
             latrP99 = bench::us(r.p99());
+        else if (row.name == "serve_pred")
+            predP99 = bench::us(r.p99());
     }
     bench::rule();
 
@@ -255,11 +287,18 @@ main(int argc, char **argv)
     }
 
     bench::measuredHeadline(
-        "LATR p99 %.1f us vs Linux p99 %.1f us (%.1fx)", latrP99,
-        linuxP99, latrP99 > 0 ? linuxP99 / latrP99 : 0.0);
-    json.headline("LATR p99 %.1f us vs Linux p99 %.1f us (%.1fx)",
-                  latrP99, linuxP99,
-                  latrP99 > 0 ? linuxP99 / latrP99 : 0.0);
+        "LATR p99 %.1f us vs Linux p99 %.1f us (%.1fx); Predictive "
+        "p99 %.1f us (%+.1f%% vs LATR)",
+        latrP99, linuxP99, latrP99 > 0 ? linuxP99 / latrP99 : 0.0,
+        predP99,
+        latrP99 > 0 ? 100.0 * (predP99 - latrP99) / latrP99 : 0.0);
+    json.headline(
+        "LATR p99 %.1f us vs Linux p99 %.1f us (%.1fx); Predictive "
+        "p99 %.1f us (%+.1f%% vs LATR)",
+        latrP99, linuxP99, latrP99 > 0 ? linuxP99 / latrP99 : 0.0,
+        predP99,
+        latrP99 > 0 ? 100.0 * (predP99 - latrP99) / latrP99 : 0.0);
+    json.baselineFile(checkAgainst);
     json.write(bench::jsonPathFromArgs(argc, argv));
 
     if (!checkAgainst.empty()) {

@@ -72,6 +72,31 @@ us(double ns)
 }
 
 /**
+ * The git commit the bench binary's tree was built from, or
+ * "unknown" outside a work tree. Cached: the subprocess runs once
+ * per bench process, not once per JSON document.
+ */
+inline const std::string &
+gitSha()
+{
+    static const std::string sha = [] {
+        std::string out = "unknown";
+        if (std::FILE *p = ::popen(
+                "git rev-parse --short=12 HEAD 2>/dev/null", "r")) {
+            char buf[64] = {0};
+            if (std::fgets(buf, sizeof buf, p)) {
+                std::size_t n = std::strcspn(buf, "\r\n");
+                if (n > 0)
+                    out.assign(buf, n);
+            }
+            ::pclose(p);
+        }
+        return out;
+    }();
+    return sha;
+}
+
+/**
  * Machine-readable results, written next to the human-readable table
  * when the bench is invoked with `--json=FILE`. Every bench emits the
  * same shape — experiment id, description, named rows, and the
@@ -89,7 +114,10 @@ us(double ns)
  * The config object records the host-side knobs the bench ran with
  * (worker processes, engine threads, fast-path switches) so a
  * BENCH_*.json is self-describing: two files can only be compared
- * when their configs match.
+ * when their configs match. Every document also records the git
+ * commit it was built from and the baseline file it was gated
+ * against (see baselineFile()) — the two provenance fields that
+ * turn a stray BENCH_*.json back into a reproducible data point.
  */
 class JsonWriter
 {
@@ -97,7 +125,20 @@ class JsonWriter
     JsonWriter(std::string experiment, std::string description)
         : experiment_(std::move(experiment)),
           description_(std::move(description))
-    {}
+    {
+        config("git_sha", gitSha());
+    }
+
+    /**
+     * Record the `--check-against=` baseline this run was gated
+     * against ("none" when the bench ran ungated).
+     */
+    JsonWriter &
+    baselineFile(const std::string &path)
+    {
+        return config("baseline_file",
+                      path.empty() ? std::string("none") : path);
+    }
 
     /** Start a new row; subsequent num()/str() calls fill it. */
     JsonWriter &
@@ -239,6 +280,7 @@ jsonPathFromArgs(int argc, char **argv)
             return argv[i] + 7;
     return "";
 }
+
 
 /**
  * Tracing knobs shared by the benches: parsed from the bench's argv

@@ -49,11 +49,11 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [options]\n"
-        "  --fuzz=N          run N generated scripts through all four\n"
+        "  --fuzz=N          run N generated scripts through all five\n"
         "                    policies; minimize + dump any failure\n"
         "  --replay=FILE     replay one script (all policies unless\n"
         "                    --policy narrows it)\n"
-        "  --policy=linux|latr|abis|barrelfish\n"
+        "  --policy=linux|latr|abis|barrelfish|pred\n"
         "  --seed=N          first fuzz seed (default 1)\n"
         "  --ops=N           ops per generated script (default 400)\n"
         "  --pcid=0|1        force PCIDs off/on (default: alternate)\n"
@@ -72,6 +72,9 @@ usage(const char *argv0)
         "  --trace=FILE      Chrome-trace JSON of a --replay run\n"
         "  --inject=skip-latr-sweep  fault injection (harness\n"
         "                    self-test: the oracle must catch it)\n"
+        "  --inject=mispredict-sharers  force PredictivePolicy to\n"
+        "                    predict no sharers; runs must stay CLEAN\n"
+        "                    (the verified fallback absorbs misses)\n"
         "  --keep-going      fuzz past the first failure\n",
         argv0);
 }
@@ -165,6 +168,8 @@ policyOf(const std::string &name, PolicyKind *kind)
         *kind = PolicyKind::Abis;
     else if (name == "barrelfish")
         *kind = PolicyKind::Barrelfish;
+    else if (name == "pred")
+        *kind = PolicyKind::Predictive;
     else
         return false;
     return true;
@@ -298,7 +303,7 @@ fuzz(const Options &opts, const ExecOptions &exec)
                         opts.fuzz);
     };
 
-    std::printf("fuzzing %u scripts x 4 policies (%u ops each, "
+    std::printf("fuzzing %u scripts x 5 policies (%u ops each, "
                 "base seed %llu)\n",
                 opts.fuzz, opts.ops,
                 static_cast<unsigned long long>(opts.seed));
@@ -322,7 +327,9 @@ fuzz(const Options &opts, const ExecOptions &exec)
                     f.minScriptPath.c_str(),
                     exec.injectSkipLatrSweep
                         ? " --inject=skip-latr-sweep"
-                        : "");
+                        : (exec.injectMispredictSharers
+                               ? " --inject=mispredict-sharers"
+                               : ""));
     }
     return 1;
 }
@@ -360,14 +367,20 @@ main(int argc, char **argv)
     exec.noFastpath = opts.noFastpath;
     exec.simThreads = opts.simThreads;
     if (!opts.inject.empty()) {
-        if (opts.inject != "skip-latr-sweep") {
+        if (opts.inject == "skip-latr-sweep") {
+            exec.injectSkipLatrSweep = true;
+            std::printf("fault injection: LATR sweeps disabled — the "
+                        "staleness oracle should report violations\n");
+        } else if (opts.inject == "mispredict-sharers") {
+            exec.injectMispredictSharers = true;
+            std::printf("fault injection: sharer predictions forced "
+                        "empty — runs must stay clean (the verified "
+                        "fallback owns correctness)\n");
+        } else {
             std::fprintf(stderr, "unknown injection '%s'\n",
                          opts.inject.c_str());
             return 2;
         }
-        exec.injectSkipLatrSweep = true;
-        std::printf("fault injection: LATR sweeps disabled — the "
-                    "staleness oracle should report violations\n");
     }
 
     if (opts.digest > 0)

@@ -13,6 +13,7 @@
 // Prints the headline metrics plus the machine's stat dump with
 // --stats.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +63,7 @@ struct Options
     unsigned simThreads = 0;
     std::string recordPath; // write the generated .latrace here
     std::string replayPath; // replay this .latrace instead
+    double rateScale = 0.0; // 0/1 = no replay rate transform
     bool noFastpath = false;
     bool dumpStats = false;
     std::string tracePath;     // chrome://tracing / Perfetto JSON
@@ -77,7 +79,7 @@ usage(const char *argv0)
         "usage: %s [options]\n"
         "  --workload=apache|nginx|microbench|parsec|numa|serve|"
         "lazycache\n"
-        "  --policy=linux|latr|abis|barrelfish\n"
+        "  --policy=linux|latr|abis|barrelfish|pred\n"
         "  --machine=commodity|large\n"
         "  --benchmark=<parsec or numa benchmark name>\n"
         "  --workers=N   (apache/nginx/serve serving cores)\n"
@@ -102,6 +104,10 @@ usage(const char *argv0)
         "  --record=FILE       (save the generated .latrace)\n"
         "  --replay=FILE       (replay FILE instead of generating;\n"
         "                       byte-identical results per policy)\n"
+        "  --rate-scale=F      (replay transform: divide every\n"
+        "                       inter-arrival gap by F at load time,\n"
+        "                       so one recording covers a whole\n"
+        "                       load-sweep family; F > 1 = hotter)\n"
         "  --no-fastpath (naive engine paths; results must match)\n"
         "  --stats       (dump the full stat registry)\n"
         "  --trace=FILE      (write Chrome-trace JSON; load in\n"
@@ -165,6 +171,8 @@ parseArg(Options &opts, const char *arg)
         opts.recordPath = v;
     } else if (const char *v = value("--replay")) {
         opts.replayPath = v;
+    } else if (const char *v = value("--rate-scale")) {
+        opts.rateScale = std::atof(v);
     } else if (const char *v = value("--trace")) {
         opts.tracePath = v;
     } else if (const char *v = value("--trace-text")) {
@@ -192,6 +200,8 @@ policyOf(const std::string &name)
         return PolicyKind::Abis;
     if (name == "barrelfish")
         return PolicyKind::Barrelfish;
+    if (name == "pred")
+        return PolicyKind::Predictive;
     fatal("unknown policy '%s'", name.c_str());
 }
 
@@ -265,6 +275,26 @@ main(int argc, char **argv)
             if (!latraceLoad(opts.replayPath, &trace, &error))
                 fatal("cannot replay '%s': %s",
                       opts.replayPath.c_str(), error.c_str());
+            if (opts.rateScale > 0.0 && opts.rateScale != 1.0) {
+                // Uniform load-time rate transform: dividing every
+                // arrival tick by F compresses (F > 1) or stretches
+                // (F < 1) all inter-arrival gaps by the same factor,
+                // so one recording covers a whole load-sweep family.
+                // Division is monotone, so record order survives.
+                const double f = opts.rateScale;
+                for (LatraceRecord &rec : trace.records)
+                    rec.tick = static_cast<Tick>(
+                        std::llround(static_cast<double>(rec.tick) /
+                                     f));
+                trace.durationTicks = static_cast<Tick>(std::llround(
+                    static_cast<double>(trace.durationTicks) / f));
+                std::fprintf(stderr,
+                             "rate-scale %.3f: %zu ops over %llu "
+                             "ticks\n",
+                             f, trace.records.size(),
+                             static_cast<unsigned long long>(
+                                 trace.durationTicks));
+            }
         } else {
             ServeConfig cfg;
             cfg.workers = opts.workers;

@@ -49,6 +49,7 @@ executorConfig(const Script &script, const ExecOptions &opt)
     cfg.llcBytesPerSocket = 1 * 1024 * 1024;
     cfg.pcidEnabled = script.pcid;
     cfg.injectSkipLatrSweep = opt.injectSkipLatrSweep;
+    cfg.injectMispredictSharers = opt.injectMispredictSharers;
     cfg.noFastpath = opt.noFastpath;
     cfg.simThreads = opt.simThreads;
     return cfg;
@@ -118,7 +119,7 @@ allPolicyKinds()
 {
     static const std::vector<PolicyKind> kinds = {
         PolicyKind::LinuxSync, PolicyKind::Latr, PolicyKind::Abis,
-        PolicyKind::Barrelfish};
+        PolicyKind::Barrelfish, PolicyKind::Predictive};
     return kinds;
 }
 

@@ -4,7 +4,7 @@
  * fresh simulated machine under a given coherence policy, with the
  * reuse-invariant checker and the bounded-staleness oracle attached,
  * and digests the final architectural state. Replaying the same
- * script under all four policies and diffing the digests mechanises
+ * script under all five policies and diffing the digests mechanises
  * the paper's §3 equivalence claim: policies may differ in *when*
  * TLB entries die, never in what the page tables, VMA sets, or the
  * allocator balance say afterwards.
@@ -34,6 +34,13 @@ struct ExecOptions
     bool strict = false;
     /** Fault injection: break LATR's sweep (oracle must notice). */
     bool injectSkipLatrSweep = false;
+    /**
+     * Fault injection: force PredictivePolicy to predict the empty
+     * sharer set on every free. The mirrored-TLB verification must
+     * absorb every miss — runs stay staleness-clean, unlike
+     * injectSkipLatrSweep.
+     */
+    bool injectMispredictSharers = false;
     /** Force the naive engine paths (MachineConfig::noFastpath). */
     bool noFastpath = false;
     /**
@@ -109,15 +116,16 @@ RunResult runScript(const Script &script, PolicyKind policy,
 DiffResult diffStates(const RunResult &a, const RunResult &b);
 
 /**
- * Run @p script under all four policies and diff every run against
+ * Run @p script under all five policies and diff every run against
  * the LinuxSync baseline. @return per-policy results (index order:
- * LinuxSync, Latr, Abis, Barrelfish) plus the first divergence.
+ * LinuxSync, Latr, Abis, Barrelfish, Predictive) plus the first
+ * divergence.
  */
 std::vector<RunResult> runDifferential(const Script &script,
                                        const ExecOptions &opt,
                                        DiffResult *diff);
 
-/** All four policy kinds, baseline first. */
+/** All five policy kinds, baseline first. */
 const std::vector<PolicyKind> &allPolicyKinds();
 
 } // namespace latr

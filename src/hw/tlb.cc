@@ -267,6 +267,32 @@ Tlb::probeHuge(Vpn vpn, Pcid pcid) const
     return huge_.peek(hk) != nullptr;
 }
 
+bool
+Tlb::probePfn(Vpn vpn, Pcid pcid, Pfn *pfn_out) const
+{
+    Key k{vpn, pcid};
+    if (const Entry *e = l1_.peek(k)) {
+        *pfn_out = e->pfn;
+        return true;
+    }
+    if (const Entry *e = l2_.peek(k)) {
+        *pfn_out = e->pfn;
+        return true;
+    }
+    return probeHugePfn(vpn, pcid, pfn_out);
+}
+
+bool
+Tlb::probeHugePfn(Vpn vpn, Pcid pcid, Pfn *pfn_out) const
+{
+    Key hk{hugeBaseOf(vpn), pcid};
+    if (const Entry *e = huge_.peek(hk)) {
+        *pfn_out = e->pfn;
+        return true;
+    }
+    return false;
+}
+
 void
 Tlb::insertHuge(Vpn base_vpn, Pfn base_pfn, Pcid pcid, bool writable)
 {

@@ -117,6 +117,20 @@ class Tlb
     bool probe(Vpn vpn, Pcid pcid) const;
 
     /**
+     * Like probe(), but also reports the cached frame so callers can
+     * match on the exact (vpn → pfn) translation. PredictivePolicy's
+     * verification probes match the frame: a vpn that was re-mapped
+     * to a fresh frame since the free is not a stale hit.
+     */
+    bool probePfn(Vpn vpn, Pcid pcid, Pfn *pfn_out) const;
+
+    /**
+     * probePfn() for the 2 MiB array: reports the base frame of the
+     * huge entry covering @p vpn, if any.
+     */
+    bool probeHugePfn(Vpn vpn, Pcid pcid, Pfn *pfn_out) const;
+
+    /**
      * A precomputed invalidateRange(): the ordered list of entries
      * the range operation would remove, probed read-only (no LRU
      * side effects) so it can run on a worker thread before the

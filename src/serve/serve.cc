@@ -77,8 +77,9 @@ fnvString(std::uint64_t h, const std::string &s)
 class OpenLoopServer
 {
   public:
-    OpenLoopServer(Machine &machine, const Latrace &trace)
-        : machine_(machine), trace_(trace),
+    OpenLoopServer(Machine &machine, const Latrace &trace,
+                   const ServeOptions &options)
+        : machine_(machine), trace_(trace), options_(options),
           workers_(std::min<unsigned>(trace.workers,
                                       machine.topo().totalCores())),
           tenantCount_(trace.tenants)
@@ -134,6 +135,7 @@ class OpenLoopServer
 
     Machine &machine_;
     const Latrace &trace_;
+    ServeOptions options_;
     unsigned workers_;
     unsigned tenantCount_;
     std::size_t cursor_ = 0;
@@ -356,6 +358,8 @@ OpenLoopServer::complete(unsigned w)
     }
     const Duration latency = machine_.now() - wk.active.arrival;
     result_.latency.record(latency);
+    if (!result_.tenantLatency.empty())
+        result_.tenantLatency[wk.active.tenant].record(latency);
     ++result_.completed;
     machine_.kernel().noteRequestComplete(wk.core, wk.activeMm,
                                           latency);
@@ -380,6 +384,9 @@ OpenLoopServer::run()
     workerState_.assign(workers_, Worker{});
     for (unsigned w = 0; w < workers_; ++w)
         workerState_[w].core = static_cast<CoreId>(w);
+    if (options_.perTenantLatency)
+        result_.tenantLatency.assign(tenantCount_,
+                                     LatencyHistogram{});
     tenants_.assign(tenantCount_, TenantSlot{});
     for (std::uint32_t s = 0; s < tenantCount_; ++s)
         spawnTenant(s);
@@ -510,9 +517,10 @@ generateServeTrace(const ServeConfig &config)
 }
 
 ServeResult
-runServeTrace(Machine &machine, const Latrace &trace)
+runServeTrace(Machine &machine, const Latrace &trace,
+              const ServeOptions &options)
 {
-    OpenLoopServer server(machine, trace);
+    OpenLoopServer server(machine, trace, options);
     return server.run();
 }
 

@@ -27,6 +27,7 @@
 #define LATR_SERVE_SERVE_HH_
 
 #include <cstdint>
+#include <vector>
 
 #include "serve/histogram.hh"
 #include "serve/latrace.hh"
@@ -81,6 +82,21 @@ struct ServeConfig
     std::uint64_t seed = 1;
 };
 
+/** Host-side knobs of one replay (never part of the simulation). */
+struct ServeOptions
+{
+    /**
+     * Keep one LatencyHistogram per tenant slot alongside the
+     * aggregate — the per-tenant tail view bench_serve reports with
+     * `--per-tenant`. Off by default: the extra histograms cost
+     * ~0.5 MB per tenant slot. Slots aggregate across churn
+     * generations (slot identity, not process identity). Pure
+     * observer state: enabling it cannot change the simulation or
+     * the run digest.
+     */
+    bool perTenantLatency = false;
+};
+
 /** Outcome of one open-loop run. */
 struct ServeResult
 {
@@ -95,6 +111,13 @@ struct ServeResult
 
     /** Arrival-to-completion latency of every completed request. */
     LatencyHistogram latency;
+
+    /**
+     * Per-tenant-slot latency, indexed by slot; empty unless
+     * ServeOptions::perTenantLatency was set. Excluded from the
+     * digest so the flag is free to differ between compared runs.
+     */
+    std::vector<LatencyHistogram> tenantLatency;
 
     double requestsPerSec = 0.0;
     double shootdownsPerSec = 0.0;
@@ -126,7 +149,8 @@ Latrace generateServeTrace(const ServeConfig &config);
  * the worker cores, then drain the queues and lazy reclamation.
  * The machine must be fresh (no prior workload).
  */
-ServeResult runServeTrace(Machine &machine, const Latrace &trace);
+ServeResult runServeTrace(Machine &machine, const Latrace &trace,
+                          const ServeOptions &options = {});
 
 } // namespace latr
 

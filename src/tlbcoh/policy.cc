@@ -6,6 +6,7 @@
 #include "tlbcoh/barrelfish_policy.hh"
 #include "tlbcoh/latr_policy.hh"
 #include "tlbcoh/linux_policy.hh"
+#include "tlbcoh/predictive_policy.hh"
 
 namespace latr
 {
@@ -198,6 +199,8 @@ makePolicy(PolicyKind kind, PolicyEnv env)
         return std::make_unique<AbisPolicy>(std::move(env));
       case PolicyKind::Barrelfish:
         return std::make_unique<BarrelfishPolicy>(std::move(env));
+      case PolicyKind::Predictive:
+        return std::make_unique<PredictivePolicy>(std::move(env));
     }
     panic("unknown policy kind");
 }
@@ -214,6 +217,8 @@ policyKindName(PolicyKind kind)
         return "ABIS";
       case PolicyKind::Barrelfish:
         return "Barrelfish";
+      case PolicyKind::Predictive:
+        return "Predictive";
     }
     return "?";
 }

@@ -5,12 +5,14 @@
  * page-table entries and invalidated the initiating core's TLB:
  * how remote cores learn about the change (IPIs, LATR states,
  * messages), when their TLB entries die, and when freed pages become
- * reusable. Four policies implement it:
+ * reusable. Five policies implement it:
  *
  *  - LinuxPolicy: synchronous IPI shootdown (the baseline);
  *  - LatrPolicy: the paper's lazy mechanism;
  *  - AbisPolicy: access-bit sharing tracking (state of the art);
- *  - BarrelfishPolicy: synchronous message passing.
+ *  - BarrelfishPolicy: synchronous message passing;
+ *  - PredictivePolicy: hashed-perceptron sharer prediction with
+ *    oracle-verified full-mask fallback.
  */
 
 #ifndef LATR_TLBCOH_POLICY_HH_
@@ -43,6 +45,7 @@ enum class PolicyKind
     Latr,        ///< the paper's lazy mechanism
     Abis,        ///< access-bit tracking (Amit, ATC'17)
     Barrelfish,  ///< message passing, still synchronous
+    Predictive,  ///< perceptron-predicted sharers, verified fallback
 };
 
 /** Everything a policy may touch, bundled at construction. */

@@ -1,0 +1,99 @@
+#include "tlbcoh/sharer_predictor.hh"
+
+namespace latr
+{
+
+namespace
+{
+
+/** SplitMix64-style finalizer: cheap, well-distributed, stateless. */
+std::uint32_t
+hashOf(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>(x >> 32);
+}
+
+} // namespace
+
+SharerPredictor::SharerPredictor()
+    : weights_(kTables * kTableSize, 0)
+{
+}
+
+void
+SharerPredictor::indicesOf(const SharerFeatures &f, CoreId candidate,
+                           std::uint32_t idx[kTables]) const
+{
+    // Every hash folds the candidate in: the tables hold one
+    // perceptron per core, contexted by the op's features.
+    const std::uint64_t c = candidate;
+    idx[0] = hashOf(f.mm * 0x100000001b3ULL ^ (c << 32));
+    idx[1] = hashOf(f.vmaId ^ (c << 40) ^ 0xA5A5ULL);
+    idx[2] = hashOf((static_cast<std::uint64_t>(f.initiator) << 8) ^
+                    (c << 24) ^ 0x5A5AULL);
+    idx[3] = hashOf(f.accessorWords[0] ^
+                    (f.accessorWords[1] * 0x9e3779b97f4a7c15ULL) ^ c);
+    // Membership is the strong signal: did this candidate access any
+    // of the freed pages since they were mapped? A TLB entry can only
+    // exist after a fault, and faults record accessors, so the
+    // accessor mask is a superset of the true sharer set — this
+    // feature alone can reach perfect recall.
+    const unsigned member =
+        (f.accessorWords[candidate >> 6] >> (candidate & 63)) & 1;
+    idx[4] = (static_cast<std::uint32_t>(candidate) << 1) | member;
+    for (unsigned t = 0; t < kTables; ++t)
+        idx[t] = (idx[t] & (kTableSize - 1)) + t * kTableSize;
+}
+
+int
+SharerPredictor::weightSum(const SharerFeatures &f,
+                           CoreId candidate) const
+{
+    std::uint32_t idx[kTables];
+    indicesOf(f, candidate, idx);
+    int sum = 0;
+    for (unsigned t = 0; t < kTables; ++t)
+        sum += weights_[idx[t]];
+    return sum;
+}
+
+CpuMask
+SharerPredictor::predict(const SharerFeatures &f,
+                         const CpuMask &candidates) const
+{
+    CpuMask predicted;
+    candidates.forEach([&](CoreId c) {
+        if (weightSum(f, c) >= 0)
+            predicted.set(c);
+    });
+    return predicted;
+}
+
+void
+SharerPredictor::train(const SharerFeatures &f,
+                       const CpuMask &candidates, const CpuMask &actual)
+{
+    candidates.forEach([&](CoreId c) {
+        const bool sharer = actual.test(c);
+        const int sum = weightSum(f, c);
+        const bool predicted = sum >= 0;
+        if (predicted == sharer && sum >= kTrainMargin)
+            return; // confidently right: leave the weights alone
+        if (predicted == sharer && sum < -kTrainMargin)
+            return;
+        std::uint32_t idx[kTables];
+        indicesOf(f, c, idx);
+        for (unsigned t = 0; t < kTables; ++t) {
+            std::int8_t &w = weights_[idx[t]];
+            if (sharer && w < kWeightMax)
+                ++w;
+            else if (!sharer && w > -(kWeightMax + 1))
+                --w;
+        }
+    });
+}
+
+} // namespace latr

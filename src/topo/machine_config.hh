@@ -92,6 +92,16 @@ struct MachineConfig
      * the staleness oracle (src/check/) catches a broken policy.
      */
     bool injectSkipLatrSweep = false;
+    /**
+     * Deliberately wreck PredictivePolicy's sharer prediction: every
+     * free operation predicts the *empty* sharer set, so every true
+     * sharer is missed. Unlike injectSkipLatrSweep this must NOT
+     * trip the staleness oracle — the mirrored-TLB verification pass
+     * catches each miss and the full-mask fallback restores
+     * coherence within the contract. Tests use it to prove that
+     * correctness never depends on prediction accuracy.
+     */
+    bool injectMispredictSharers = false;
     /// @}
 
     /// @name Engine debugging

@@ -1,0 +1,167 @@
+// Tests for the predictive sharer-prediction policy: cold-start
+// full-mask safety, fan-out narrowing after training, the
+// forced-misprediction fallback path, and the deferred frame/VA
+// release behind the verification pass.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+
+namespace latr
+{
+namespace
+{
+
+struct PredictiveFixture : public ::testing::Test
+{
+    PredictiveFixture()
+        : machine(test::tinyConfig(), PolicyKind::Predictive),
+          kernel(machine.kernel())
+    {
+        process = kernel.createProcess("app");
+        t0 = kernel.spawnTask(process, 0);
+        t1 = kernel.spawnTask(process, 1);
+        t2 = kernel.spawnTask(process, 2);
+    }
+
+    /** One mmap/touch(t0,t1)/munmap training round, then settle. */
+    void
+    trainingRound()
+    {
+        SyscallResult m = kernel.mmap(t0, kPageSize,
+                                      kProtRead | kProtWrite);
+        test::touchRange(kernel, t0, m.addr, kPageSize);
+        test::touchRange(kernel, t1, m.addr, kPageSize);
+        ASSERT_TRUE(kernel.munmap(t0, m.addr, kPageSize).ok);
+        machine.run(3 * kMsec); // verify pass + reclaim settle
+    }
+
+    Machine machine;
+    Kernel &kernel;
+    Process *process = nullptr;
+    Task *t0 = nullptr;
+    Task *t1 = nullptr;
+    Task *t2 = nullptr;
+};
+
+TEST_F(PredictiveFixture, CapabilitiesAndContract)
+{
+    const PolicyCapabilities caps = machine.policy().capabilities();
+    EXPECT_TRUE(caps.asynchronous);
+    EXPECT_FALSE(caps.nonIpiBased);
+    EXPECT_TRUE(caps.noHardwareChanges);
+    EXPECT_TRUE(caps.lazyFreeCapable);
+    // Lazy: the contract must budget the verification epoch plus the
+    // fallback round-trip, never claim synchrony.
+    EXPECT_GT(machine.policy().stalenessContract().epochBound,
+              machine.config().cost.tickInterval);
+}
+
+TEST_F(PredictiveFixture, ColdStartSendsTheFullCandidateMask)
+{
+    // Untrained weights predict every candidate: residency minus the
+    // initiator is {1, 2}, so the first unmap fans out to both —
+    // zero savings, zero correctness exposure.
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    ASSERT_TRUE(kernel.munmap(t0, m.addr, kPageSize).ok);
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis + 2);
+    machine.run(4 * kMsec);
+    EXPECT_GT(machine.stats().counterValue("pred.verifies"), 0u);
+    EXPECT_EQ(machine.stats().counterValue("pred.mispredicts"), 0u);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(PredictiveFixture, TrainingNarrowsTheFanOutToRealSharers)
+{
+    // Core 2 is resident but never touches the region: after a few
+    // confirmed outcomes the perceptron drops it and only the actual
+    // sharer (core 1) is IPI'd.
+    for (int round = 0; round < 4; ++round)
+        trainingRound();
+
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    ASSERT_TRUE(kernel.munmap(t0, m.addr, kPageSize).ok);
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis + 1); // only core 1
+    EXPECT_GT(machine.stats().counterValue("pred.ipis_saved"), 0u);
+
+    machine.run(4 * kMsec);
+    // The skipped core never held the translation, so verification
+    // confirms cleanly: no fallback, no staleness, frames reclaimed.
+    EXPECT_EQ(machine.stats().counterValue("pred.mispredicts"), 0u);
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(PredictiveFixture, FreedRangeIsHeldBackUntilVerified)
+{
+    // The unmapped VA range must not be handed out again before the
+    // verification pass confirms coherence (the reuse invariant).
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    ASSERT_TRUE(kernel.munmap(t0, m.addr, kPageSize).ok);
+    EXPECT_GT(process->mm().heldBackBytes(), 0u);
+    machine.run(4 * kMsec);
+    EXPECT_EQ(process->mm().heldBackBytes(), 0u);
+}
+
+TEST(PredictiveInjection, ForcedMispredictionFallsBackCleanly)
+{
+    // --inject=mispredict-sharers forces the empty prediction on
+    // every free: no IPI is sent with the op, every real sharer is
+    // missed, and the verification pass must absorb all of it with a
+    // full-mask fallback — frames reclaimed, zero violations.
+    MachineConfig cfg = test::tinyConfig();
+    cfg.injectMispredictSharers = true;
+    Machine machine(cfg, PolicyKind::Predictive);
+    Kernel &kernel = machine.kernel();
+    Process *process = kernel.createProcess("app");
+    Task *t0 = kernel.spawnTask(process, 0);
+    Task *t1 = kernel.spawnTask(process, 1);
+
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    ASSERT_TRUE(kernel.munmap(t0, m.addr, kPageSize).ok);
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis); // nothing predicted
+
+    machine.run(6 * kMsec);
+    EXPECT_GT(machine.stats().counterValue("pred.mispredicts"), 0u);
+    EXPECT_GT(machine.stats().counterValue("pred.fallback_shootdowns"),
+              0u);
+    EXPECT_GT(machine.ipi().ipisSent(), ipis); // the fallback round
+    EXPECT_FALSE(
+        machine.scheduler().tlbOf(1).probe(pageOf(m.addr), 0));
+    EXPECT_EQ(machine.frames().allocatedFrames(), 0u);
+    EXPECT_EQ(machine.checker()->violations(), 0u);
+}
+
+TEST_F(PredictiveFixture, NumaSampleStaysSynchronousFullMask)
+{
+    SyscallResult m = kernel.mmap(t0, kPageSize,
+                                  kProtRead | kProtWrite);
+    test::touchRange(kernel, t0, m.addr, kPageSize);
+    test::touchRange(kernel, t1, m.addr, kPageSize);
+    const std::uint64_t ipis = machine.ipi().ipisSent();
+    kernel.numaSample(t0, pageOf(m.addr));
+    // AutoNUMA sampling is not predicted: the full remote residency
+    // mask {1, 2} is IPI'd synchronously, Linux-style.
+    EXPECT_EQ(machine.ipi().ipisSent(), ipis + 2);
+    EXPECT_TRUE(
+        process->mm().pageTable().find(pageOf(m.addr))->protNone());
+}
+
+} // namespace
+} // namespace latr

@@ -149,6 +149,43 @@ TEST(LatencyHistogram, DigestDetectsDifferences)
     EXPECT_NE(c.digest(), e.digest()); // sum differs even if bucket same
 }
 
+TEST(LatencyHistogram, TopBucketSaturates)
+{
+    // The last bucket's range must run to the top of the 64-bit
+    // domain, and pathological values (a latency diff gone negative
+    // and wrapped, for instance) must land there — counted, ordered,
+    // and reported — rather than indexing out of bounds.
+    LatencyHistogram h;
+    const std::size_t top = h.bucketCount() - 1;
+    EXPECT_EQ(LatencyHistogram::bucketHigh(top), ~0ULL);
+    EXPECT_EQ(LatencyHistogram::bucketOf(~0ULL), top);
+    const std::uint64_t low = LatencyHistogram::bucketLow(top);
+    EXPECT_EQ(LatencyHistogram::bucketOf(low), top);
+
+    h.record(~0ULL);
+    h.record(low);
+    h.record(~0ULL - 1);
+    h.record(1); // a sane sample rides along
+    EXPECT_EQ(h.bucketValue(top), 3u);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), ~0ULL);
+    // Quantiles in the saturated bucket report its ceiling; the sane
+    // sample still resolves exactly below it.
+    EXPECT_EQ(h.percentile(1.0), ~0ULL);
+    EXPECT_EQ(h.percentile(0.75), ~0ULL);
+    EXPECT_EQ(h.percentile(0.25), 1u);
+
+    // Saturation is digest-visible: a top-bucket sample is not the
+    // same stream as one more mid-range sample.
+    LatencyHistogram other;
+    other.record(1);
+    other.record(low);
+    other.record(low);
+    other.record(low);
+    EXPECT_NE(h.digest(), other.digest());
+}
+
 TEST(LatencyHistogram, ResetClears)
 {
     LatencyHistogram h;

@@ -1,0 +1,150 @@
+// Unit tests for the hashed-perceptron sharer predictor: cold-start
+// safety (predict everyone), convergence on stable sharer sets, the
+// recent-accessor membership feature across the CpuMask word seam,
+// and weight saturation.
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+#include "tlbcoh/sharer_predictor.hh"
+
+namespace latr
+{
+namespace
+{
+
+SharerFeatures
+features(MmId mm = 7, std::uint64_t vma = 0x7f0000000000ULL,
+         CoreId initiator = 0)
+{
+    SharerFeatures f;
+    f.mm = mm;
+    f.vmaId = vma;
+    f.initiator = initiator;
+    return f;
+}
+
+void
+setAccessors(SharerFeatures &f, const CpuMask &accessors)
+{
+    f.accessorWords[0] = 0;
+    f.accessorWords[1] = 0;
+    accessors.forEachWord([&](unsigned word, std::uint64_t bits) {
+        f.accessorWords[word] = bits;
+    });
+}
+
+TEST(SharerPredictor, ColdPredictorPredictsEveryCandidate)
+{
+    // Zero weights sum to zero, and zero means "sharer": an
+    // untrained predictor must return the candidate mask unchanged —
+    // full fan-out, no savings, no correctness exposure. Checked on
+    // the empty mask, the full mask, and a word-seam mask, the three
+    // shapes the predicted-IPI path has to fan out over.
+    const SharerPredictor p;
+    const SharerFeatures f = features();
+
+    EXPECT_TRUE(p.predict(f, CpuMask{}).empty());
+
+    const CpuMask full = CpuMask::firstN(CpuMask::kMaxCores);
+    EXPECT_TRUE(p.predict(f, full) == full);
+
+    CpuMask seam;
+    seam.set(63);
+    seam.set(64);
+    seam.set(119);
+    EXPECT_TRUE(p.predict(f, seam) == seam);
+}
+
+TEST(SharerPredictor, PredictionIsAlwaysASubsetOfCandidates)
+{
+    SharerPredictor p;
+    SharerFeatures f = features();
+    CpuMask sharers;
+    sharers.set(1);
+    setAccessors(f, sharers);
+    CpuMask candidates = CpuMask::firstN(6);
+    for (int i = 0; i < 32; ++i)
+        p.train(f, candidates, sharers);
+    const CpuMask predicted = p.predict(f, candidates);
+    predicted.forEach(
+        [&](CoreId c) { EXPECT_TRUE(candidates.test(c)); });
+}
+
+TEST(SharerPredictor, ConvergesOnAStableSharerSet)
+{
+    SharerPredictor p;
+    SharerFeatures f = features();
+    CpuMask candidates = CpuMask::firstN(8);
+    CpuMask sharers;
+    sharers.set(0);
+    sharers.set(1);
+    setAccessors(f, sharers);
+    for (int i = 0; i < 16; ++i)
+        p.train(f, candidates, sharers);
+    EXPECT_TRUE(p.predict(f, candidates) == sharers);
+}
+
+TEST(SharerPredictor, MembershipFeatureCrossesTheWordSeam)
+{
+    // The recent-accessor membership feature indexes by (candidate,
+    // in-mask) directly; cores 63/64/119 straddle the two CpuMask
+    // words, exactly the decomposition the predicted-IPI fan-out
+    // uses. Train with accessors {63, 64} out of candidates
+    // {63, 64, 119}: the seam cores stay predicted, 119 trains away.
+    SharerPredictor p;
+    SharerFeatures f = features();
+    CpuMask candidates;
+    candidates.set(63);
+    candidates.set(64);
+    candidates.set(119);
+    CpuMask sharers;
+    sharers.set(63);
+    sharers.set(64);
+    setAccessors(f, sharers);
+    for (int i = 0; i < 16; ++i)
+        p.train(f, candidates, sharers);
+    EXPECT_TRUE(p.predict(f, candidates) == sharers);
+}
+
+TEST(SharerPredictor, RelearnsWhenTheSharerSetMoves)
+{
+    SharerPredictor p;
+    SharerFeatures f = features();
+    const CpuMask candidates = CpuMask::firstN(4);
+    CpuMask first;
+    first.set(2);
+    setAccessors(f, first);
+    for (int i = 0; i < 24; ++i)
+        p.train(f, candidates, first);
+    EXPECT_TRUE(p.predict(f, candidates) == first);
+
+    CpuMask second;
+    second.set(3);
+    setAccessors(f, second);
+    for (int i = 0; i < 48; ++i)
+        p.train(f, candidates, second);
+    EXPECT_TRUE(p.predict(f, candidates) == second);
+}
+
+TEST(SharerPredictor, WeightsSaturateInsteadOfWrapping)
+{
+    // 5 tables x int8 weights in [-32, 31]: after arbitrarily many
+    // identical outcomes the per-candidate sum stays inside the
+    // theoretical envelope and the prediction stays right — no int8
+    // wraparound flipping a hot non-sharer back into the mask.
+    SharerPredictor p;
+    SharerFeatures f = features();
+    const CpuMask candidates = CpuMask::firstN(2);
+    CpuMask sharers;
+    sharers.set(0);
+    setAccessors(f, sharers);
+    for (int i = 0; i < 4000; ++i)
+        p.train(f, candidates, sharers);
+    EXPECT_GE(p.weightSum(f, 1), -5 * 32);
+    EXPECT_LE(p.weightSum(f, 0), 5 * 31);
+    EXPECT_TRUE(p.predict(f, candidates) == sharers);
+}
+
+} // namespace
+} // namespace latr

@@ -152,6 +152,43 @@ TEST(CpuMask, ForEachWordAtWordBoundaryCores)
     }
 }
 
+TEST(CpuMask, ForEachWordOnPredictedMaskShapes)
+{
+    // The shapes the predicted-IPI fan-out hands to forEachWord: the
+    // empty prediction (forced by --inject=mispredict-sharers), the
+    // full mask (cold predictor), and a seam mask {63, 64, 119}
+    // straddling the two words on the 120-core machine.
+    CpuMask empty;
+    unsigned calls = 0;
+    empty.forEachWord([&](unsigned, std::uint64_t) { ++calls; });
+    EXPECT_EQ(calls, 0u);
+
+    const CpuMask full = CpuMask::firstN(CpuMask::kMaxCores);
+    std::uint64_t fullWords[2] = {0, 0};
+    full.forEachWord([&](unsigned word, std::uint64_t bits) {
+        ASSERT_LT(word, 2u);
+        fullWords[word] = bits;
+    });
+    EXPECT_EQ(fullWords[0], ~0ULL);
+    EXPECT_EQ(fullWords[1], ~0ULL);
+
+    CpuMask seam;
+    seam.set(63);
+    seam.set(64);
+    seam.set(119);
+    std::uint64_t words[2] = {0, 0};
+    calls = 0;
+    seam.forEachWord([&](unsigned word, std::uint64_t bits) {
+        ASSERT_LT(word, 2u);
+        words[word] = bits;
+        ++calls;
+    });
+    EXPECT_EQ(calls, 2u);
+    EXPECT_EQ(words[0], 1ULL << 63);
+    EXPECT_EQ(words[1], (1ULL << 0) | (1ULL << 55));
+    EXPECT_EQ(seam.count(), 3u);
+}
+
 class CpuMaskWidthTest : public ::testing::TestWithParam<unsigned>
 {
 };
